@@ -1,0 +1,399 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each regenerates its experiment end to end and reports the
+// headline metric(s) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. Benchmarks run at a reduced scale
+// (8-16 MB simulated rank, 3 windows) so a full sweep finishes in minutes;
+// cmd/zrsim runs the same experiments at the default 32 MB / 8-window
+// scale. All reported values are ratios, which are scale-invariant.
+package zerorefresh_test
+
+import (
+	"fmt"
+	"testing"
+
+	"zerorefresh"
+)
+
+// benchOptions is the reduced-scale configuration shared by the heavy
+// experiment benchmarks.
+func benchOptions() zerorefresh.ExperimentOptions {
+	return zerorefresh.ExperimentOptions{
+		Capacity: 8 << 20,
+		Windows:  3,
+		Seed:     1,
+	}
+}
+
+// BenchmarkTable1Traces regenerates Table I (mean allocated memory of the
+// Google/Alibaba/Bitbrains traces; paper: 0.70 / 0.88 / 0.28).
+func BenchmarkTable1Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := zerorefresh.RunTable1(1, 20000)
+		for _, r := range t.Rows {
+			b.ReportMetric(r.Values[0], r.Name+"_mean")
+		}
+	}
+}
+
+// BenchmarkFig4RefreshPower regenerates Figure 4 (refresh share of device
+// power vs density; paper: >50% at 16Gb with 32ms retention).
+func BenchmarkFig4RefreshPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := zerorefresh.RunFig4()
+		r16, _ := t.Find("16Gb")
+		b.ReportMetric(r16.Values[1], "16Gb_32ms_share")
+		r1, _ := t.Find("1Gb")
+		b.ReportMetric(r1.Values[0], "1Gb_64ms_share")
+	}
+}
+
+// BenchmarkFig5TraceCDFs regenerates Figure 5 (utilization CDFs).
+func BenchmarkFig5TraceCDFs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := zerorefresh.RunFig5()
+		mid, _ := t.Find("0.50")
+		b.ReportMetric(mid.Values[0], "google_cdf_at_50pct")
+		b.ReportMetric(mid.Values[2], "bitbrains_cdf_at_50pct")
+	}
+}
+
+// BenchmarkFig6ZeroPortion regenerates Figure 6 (zero content at 1KB and
+// 1B granularity; paper suite averages 0.023 and 0.43).
+func BenchmarkFig6ZeroPortion(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t := zerorefresh.RunFig6(o)
+		m, _ := t.Find("MEAN")
+		b.ReportMetric(m.Values[0], "zero_1KB_mean")
+		b.ReportMetric(m.Values[1], "zero_byte_mean")
+	}
+}
+
+// BenchmarkFig14RefreshReduction regenerates Figure 14 (normalized refresh
+// under the four allocation scenarios; paper means 0.629 / 0.54 / 0.43 /
+// 0.17).
+func BenchmarkFig14RefreshReduction(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunFig14(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _ := t.Find("MEAN")
+		b.ReportMetric(m.Values[0], "norm_100pct")
+		b.ReportMetric(m.Values[1], "norm_88pct")
+		b.ReportMetric(m.Values[2], "norm_70pct")
+		b.ReportMetric(m.Values[3], "norm_28pct")
+	}
+}
+
+// BenchmarkFig15Energy regenerates Figure 15 (normalized refresh energy,
+// overheads included; paper means 0.635 / 0.56 / 0.45 / 0.18).
+func BenchmarkFig15Energy(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunFig15(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _ := t.Find("MEAN")
+		b.ReportMetric(m.Values[0], "energy_100pct")
+		b.ReportMetric(m.Values[3], "energy_28pct")
+	}
+}
+
+// BenchmarkFig16Temperature regenerates Figure 16 (normal 64ms vs extended
+// 32ms retention at 100% allocation; paper: ~4.4% less reduction at 64ms).
+func BenchmarkFig16Temperature(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunFig16(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _ := t.Find("MEAN")
+		b.ReportMetric(m.Values[0], "norm_32ms")
+		b.ReportMetric(m.Values[1], "norm_64ms")
+		b.ReportMetric(m.Values[1]-m.Values[0], "delta")
+	}
+}
+
+// BenchmarkFig17IPC regenerates Figure 17 (IPC normalized to conventional
+// refresh; paper: +5.7% average, max +10.8%, min +0.3%).
+func BenchmarkFig17IPC(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunFig17(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _ := t.Find("MEAN")
+		b.ReportMetric(m.Values[2], "mean_speedup")
+		hi, _ := t.Find("sphinx3")
+		b.ReportMetric(hi.Values[2], "sphinx3_speedup")
+		lo, _ := t.Find("sp.C")
+		b.ReportMetric(lo.Values[2], "spC_speedup")
+	}
+}
+
+// BenchmarkFig18RowSize regenerates Figure 18 (row-size sensitivity at
+// 100% allocation; paper reductions 46.3% / 37.1% / 33.9%).
+func BenchmarkFig18RowSize(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunFig18(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _ := t.Find("MEAN")
+		b.ReportMetric(1-m.Values[0], "reduction_2KB")
+		b.ReportMetric(1-m.Values[1], "reduction_4KB")
+		b.ReportMetric(1-m.Values[2], "reduction_8KB")
+	}
+}
+
+// BenchmarkFig19Scalability regenerates Figure 19 (Smart Refresh vs
+// ZERO-REFRESH, mcf, 4-32 GB; paper: Smart 0.526 -> 0.941, ZERO ~flat).
+func BenchmarkFig19Scalability(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunFig19(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(t.Rows[0].Values[0], "smart_4GB")
+		b.ReportMetric(t.Rows[3].Values[0], "smart_32GB")
+		b.ReportMetric(t.Rows[0].Values[1], "zero_4GB")
+		b.ReportMetric(t.Rows[3].Values[1], "zero_32GB")
+	}
+}
+
+// --- Ablation benchmarks: the design choices DESIGN.md calls out. ---
+
+func ablationRun(b *testing.B, mutate func(*zerorefresh.ExperimentOptions)) float64 {
+	// CellGroupRows 16 ensures the small rank has both true- and
+	// anti-cell rows, so the cell-awareness ablation bites.
+	o := zerorefresh.ExperimentOptions{Capacity: 4 << 20, Windows: 2, Seed: 1, CellGroupRows: 16}
+	mutate(&o)
+	prof, _ := zerorefresh.BenchmarkByName("sphinx3")
+	res, err := zerorefresh.RunScenario(o, prof, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Reduction
+}
+
+// BenchmarkAblationPipeline compares the full pipeline against disabling
+// each transformation stage (sphinx3, 100% allocated): without EBDI only
+// literal zeros help; without the bit-plane stage zero bits stay trapped
+// inside delta words; without cell-type awareness anti-cell rows never
+// discharge.
+func BenchmarkAblationPipeline(b *testing.B) {
+	cases := []struct {
+		name string
+		opts zerorefresh.TransformOptions
+	}{
+		{"full", zerorefresh.TransformOptions{EBDI: true, BitPlane: true, CellAware: true}},
+		{"no_ebdi", zerorefresh.TransformOptions{EBDI: false, BitPlane: true, CellAware: true}},
+		{"no_bitplane", zerorefresh.TransformOptions{EBDI: true, BitPlane: false, CellAware: true}},
+		{"no_cellaware", zerorefresh.TransformOptions{EBDI: true, BitPlane: true, CellAware: false}},
+		{"none", zerorefresh.TransformOptions{}},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			opts := c.opts
+			red := ablationRun(b, func(o *zerorefresh.ExperimentOptions) { o.Transform = &opts })
+			b.ReportMetric(red, c.name+"_reduction")
+		}
+	}
+}
+
+// BenchmarkAblationMapping compares the chip mappings of Section V-D:
+// rotated (the design), direct (no rotation), and the conventional
+// byte-scatter burst mapping that defeats skipping entirely (Figure 13).
+func BenchmarkAblationMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rot := ablationRun(b, func(o *zerorefresh.ExperimentOptions) {})
+		b.ReportMetric(rot, "rotated_reduction")
+		dir := ablationRun(b, func(o *zerorefresh.ExperimentOptions) { o.Mapping = zerorefresh.DirectMapping() })
+		b.ReportMetric(dir, "direct_reduction")
+		bs := ablationRun(b, func(o *zerorefresh.ExperimentOptions) { o.Mapping = zerorefresh.ByteScatterMapping() })
+		b.ReportMetric(bs, "bytescatter_reduction")
+	}
+}
+
+// BenchmarkAblationStagger isolates the staggered refresh counters of
+// Section IV-C under the rank-synchronous skip design.
+func BenchmarkAblationStagger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationRun(b, func(o *zerorefresh.ExperimentOptions) {})
+		off := ablationRun(b, func(o *zerorefresh.ExperimentOptions) {
+			rc := zerorefresh.RefreshConfig{Skip: true, RowsPerAR: 16, Stagger: false, StatusInDRAM: true}
+			o.Refresh = &rc
+		})
+		b.ReportMetric(on, "stagger_reduction")
+		b.ReportMetric(off, "nostagger_reduction")
+	}
+}
+
+// BenchmarkAblationRowSparing measures how row sparing (spared rows can
+// never skip, Section IV-B) erodes the reduction as the spared fraction
+// grows. Real devices spare well under 1% of rows.
+func BenchmarkAblationRowSparing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, frac := range []float64{0, 0.005, 0.05} {
+			red := ablationRun(b, func(o *zerorefresh.ExperimentOptions) { o.SparedRowFraction = frac })
+			b.ReportMetric(red, fmt.Sprintf("spared_%.1f%%_reduction", 100*frac))
+		}
+	}
+}
+
+// BenchmarkAblationAllBank compares the per-bank AR policy (the paper's
+// base design) against the all-bank alternative: refresh counts match, but
+// all-bank blocks the whole rank per command, costing IPC.
+func BenchmarkAblationAllBank(b *testing.B) {
+	prof, _ := zerorefresh.BenchmarkByName("gemsFDTD")
+	for i := 0; i < b.N; i++ {
+		o := zerorefresh.ExperimentOptions{Capacity: 4 << 20, Seed: 1}
+		per, err := zerorefresh.RunIPC(o, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := zerorefresh.RefreshConfig{Skip: true, RowsPerAR: 16, Stagger: true, StatusInDRAM: true, AllBank: true}
+		o.Refresh = &rc
+		all, err := zerorefresh.RunIPC(o, prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(per.BaselineIPC, "perbank_base_ipc")
+		b.ReportMetric(all.BaselineIPC, "allbank_base_ipc")
+		b.ReportMetric(per.Speedup, "perbank_zr_speedup")
+		b.ReportMetric(all.Speedup, "allbank_zr_speedup")
+	}
+}
+
+// --- Micro-benchmarks of the core datapath. ---
+
+// BenchmarkTransformPipeline measures the per-line cost of the full
+// CPU-side transformation (encode + decode).
+func BenchmarkTransformPipeline(b *testing.B) {
+	sys, err := zerorefresh.NewSystem(zerorefresh.DefaultConfig(4 << 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var data [64]byte
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Controller.WriteLine(uint64(i%1024)*64, data, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Controller.ReadLine(uint64(i%1024)*64, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRefreshWindow measures one full retention window of refresh
+// processing on an idle (fully skippable) rank.
+func BenchmarkRefreshWindow(b *testing.B) {
+	sys, err := zerorefresh.NewSystem(zerorefresh.DefaultConfig(16 << 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.RunWindow() // learn
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := sys.RunWindow()
+		if st.Refreshed != 0 {
+			b.Fatal("idle rank should skip everything")
+		}
+	}
+}
+
+// BenchmarkExtensionComparison runs the extension study: access-aware
+// (Smart), retention-aware (RAIDR-style, with a mild VRT drift) and
+// value-aware (ZERO-REFRESH) skipping across capacities.
+func BenchmarkExtensionComparison(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunComparison(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(last.Values[0], "smart_32GB")
+		b.ReportMetric(last.Values[1], "raidr_32GB")
+		b.ReportMetric(last.Values[2], "zero_32GB")
+	}
+}
+
+// BenchmarkExtensionCmdLevel validates the refresh-interference results on
+// the command-level DDR engine: per-request latency under conventional vs
+// ZERO-REFRESH schedules with emergent row-buffer behaviour.
+func BenchmarkExtensionCmdLevel(b *testing.B) {
+	o := benchOptions()
+	for i := 0; i < b.N; i++ {
+		t, err := zerorefresh.RunCmdLevel(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, _ := t.Find("MEAN")
+		b.ReportMetric(m.Values[0], "conv_latency_ns")
+		b.ReportMetric(m.Values[1], "zr_latency_ns")
+	}
+}
+
+// BenchmarkEBDIEncode measures the raw base-delta stage.
+func BenchmarkEBDIEncode(b *testing.B) {
+	l := zerorefresh.Line{100, 105, 99, 260, 130, 90, 70, 111}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l = zerorefresh.EBDIDecode(zerorefresh.EBDIEncode(l))
+	}
+	_ = l
+}
+
+// BenchmarkBitPlane measures the transposition stage on a typical
+// post-EBDI line (small deltas).
+func BenchmarkBitPlane(b *testing.B) {
+	l := zerorefresh.EBDIEncode(zerorefresh.Line{1 << 40, 1<<40 + 5, 1<<40 - 3, 1 << 40, 1<<40 + 100, 1<<40 - 90, 1 << 40, 1<<40 + 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l = zerorefresh.BitPlaneInverse(zerorefresh.BitPlaneTranspose(l))
+	}
+	_ = l
+}
+
+// BenchmarkAblationPerChipStatus contrasts the paper's rank-synchronous
+// skip (1 status bit per rank row, rotation makes diagonal groups
+// class-uniform) with a per-chip-status design (1 bit per chip-row, 8x the
+// table, no rotation needed): the rotation+stagger design recovers nearly
+// all of the per-chip benefit at 1/8th the tracking cost.
+func BenchmarkAblationPerChipStatus(b *testing.B) {
+	run := func(perChip bool, mapping zerorefresh.ChipMapping) float64 {
+		o := zerorefresh.ExperimentOptions{Capacity: 4 << 20, Windows: 2, Seed: 1}
+		rc := zerorefresh.RefreshConfig{
+			Skip: true, RowsPerAR: 16, Stagger: !perChip,
+			StatusInDRAM: true, PerChipStatus: perChip,
+		}
+		o.Refresh = &rc
+		o.Mapping = mapping
+		prof, _ := zerorefresh.BenchmarkByName("sphinx3")
+		res, err := zerorefresh.RunScenario(o, prof, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return 1 - res.Cycles.NormalizedChipRefresh()
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false, zerorefresh.RotatedMapping()), "sync_rotated_chip_reduction")
+		b.ReportMetric(run(true, zerorefresh.DirectMapping()), "perchip_direct_chip_reduction")
+		b.ReportMetric(run(true, zerorefresh.RotatedMapping()), "perchip_rotated_chip_reduction")
+	}
+}

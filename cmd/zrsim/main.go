@@ -1,0 +1,128 @@
+// Command zrsim reproduces the evaluation of "Charge-Aware DRAM Refresh
+// Reduction with Value Transformation" (HPCA 2020). Each experiment id
+// regenerates one table or figure of the paper:
+//
+//	zrsim -exp fig14                # normalized refresh, 4 scenarios
+//	zrsim -exp fig17 -capacity 8    # IPC study on an 8 MB scaled rank
+//	zrsim -exp all                  # everything (slow)
+//
+// Capacities are in MB of simulated rank standing in for GB of the paper's
+// machine (1/1024 scale); all reported metrics are ratios, so the scale
+// cancels out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zerorefresh/internal/sim"
+	"zerorefresh/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,all")
+		capacity = flag.Int64("capacity", 32, "simulated rank capacity in MB")
+		windows  = flag.Int("windows", 8, "measured retention windows")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 23)")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+		format   = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.Benchmarks() {
+			fmt.Printf("%-12s %-8s reduction~%.2f MPKI=%.1f\n", b.Name, b.Suite, b.ExpectedReduction(), b.MPKI)
+		}
+		return
+	}
+
+	o := sim.Options{
+		Capacity: *capacity << 20,
+		Windows:  *windows,
+		Seed:     *seed,
+	}
+	if *benches != "" {
+		for _, name := range strings.Split(*benches, ",") {
+			p, ok := workload.ByName(strings.TrimSpace(name))
+			if !ok {
+				fail(fmt.Errorf("unknown benchmark %q (try -list)", name))
+			}
+			o.Benchmarks = append(o.Benchmarks, p)
+		}
+	}
+
+	csvOut = *format == "csv"
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "compare", "cmdlevel", "power"}
+	}
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "zrsim: running %s...\n", id)
+		if err := run(id, o); err != nil {
+			fail(err)
+		}
+	}
+}
+
+var csvOut bool
+
+func emit(t *sim.Table) {
+	if csvOut {
+		fmt.Print(t.CSV())
+		return
+	}
+	fmt.Println(t)
+}
+
+func run(id string, o sim.Options) error {
+	switch id {
+	case "table1":
+		emit(sim.RunTable1(o.Seed, 20000))
+	case "table2":
+		fmt.Println(sim.RunTable2())
+	case "fig4":
+		emit(sim.RunFig4())
+	case "fig5":
+		emit(sim.RunFig5())
+	case "fig6":
+		emit(sim.RunFig6(o))
+	case "fig14":
+		return show(sim.RunFig14(o))
+	case "fig15":
+		return show(sim.RunFig15(o))
+	case "fig16":
+		return show(sim.RunFig16(o))
+	case "fig17":
+		return show(sim.RunFig17(o))
+	case "fig18":
+		return show(sim.RunFig18(o))
+	case "fig19":
+		return show(sim.RunFig19(o))
+	case "compare":
+		return show(sim.RunComparison(o))
+	case "cmdlevel":
+		return show(sim.RunCmdLevelTable(o))
+	case "power":
+		return show(sim.RunPowerBreakdown(o))
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func show(t *sim.Table, err error) error {
+	if err != nil {
+		return err
+	}
+	emit(t)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "zrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"zerorefresh/internal/sim"
+	"zerorefresh/internal/workload"
+)
+
+func quickOpts() sim.Options {
+	p, _ := workload.ByName("sphinx3")
+	return sim.Options{
+		Capacity:   4 << 20,
+		Windows:    2,
+		Seed:       1,
+		Benchmarks: []workload.Profile{p},
+	}
+}
+
+func TestRunDispatchesEveryExperiment(t *testing.T) {
+	o := quickOpts()
+	for _, id := range []string{
+		"table1", "table2", "fig4", "fig5", "fig6",
+		"fig14", "fig15", "fig16", "fig17", "fig18",
+		"cmdlevel", "power",
+	} {
+		if err := run(id, o); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("fig99", quickOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

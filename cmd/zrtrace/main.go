@@ -1,0 +1,84 @@
+// Command zrtrace inspects the datacenter memory-utilization trace models
+// behind Table I and Figure 5 (Google, Alibaba, Bitbrains) and the
+// benchmark content generators behind Figure 6.
+//
+//	zrtrace -trace bitbrains -samples 50000   # utilization stats + CDF
+//	zrtrace -content mcf -pages 2000          # zero-content statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zerorefresh/internal/ostrace"
+	"zerorefresh/internal/workload"
+)
+
+func main() {
+	var (
+		trace   = flag.String("trace", "", "trace to inspect: google, alibaba, bitbrains, all")
+		samples = flag.Int("samples", 20000, "utilization samples")
+		content = flag.String("content", "", "benchmark whose content to analyse")
+		pages   = flag.Int("pages", 2000, "pages of content to generate")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		export  = flag.String("export", "", "write the utilization series as CSV to this file")
+	)
+	flag.Parse()
+
+	switch {
+	case *trace != "":
+		names := []string{*trace}
+		if *trace == "all" {
+			names = []string{"google", "alibaba", "bitbrains"}
+		}
+		for _, n := range names {
+			m, ok := ostrace.ByName(n)
+			if !ok {
+				fail(fmt.Errorf("unknown trace %q", n))
+			}
+			if *export != "" {
+				if err := os.WriteFile(*export, []byte(m.SeriesCSV(*seed, *samples)), 0o644); err != nil {
+					fail(err)
+				}
+				fmt.Printf("%s: wrote %d samples to %s\n", m.Name, *samples, *export)
+				continue
+			}
+			printTrace(m, *seed, *samples)
+		}
+	case *content != "":
+		p, ok := workload.ByName(*content)
+		if !ok {
+			fail(fmt.Errorf("unknown benchmark %q", *content))
+		}
+		st := p.MeasureContent(*seed, *pages)
+		fmt.Printf("%s content over %d pages:\n", p.Name, st.Pages)
+		fmt.Printf("  zero bytes:      %6.2f%%  (paper suite average ~43%%)\n", 100*st.ZeroByteFraction())
+		fmt.Printf("  zero 1KB blocks: %6.2f%%  (paper suite average ~2.3%%)\n", 100*st.ZeroBlockFraction())
+		fmt.Printf("  skip fraction (32KB unit): %5.1f%%\n", 100*p.SkipUnitFraction(*seed, 8*4096, 2000))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTrace(m ostrace.TraceModel, seed uint64, samples int) {
+	mean := m.EmpiricalMean(seed, samples)
+	fmt.Printf("%s: mean utilization %.3f (Table I: %.2f)\n", m.Name, mean, m.TableIMean)
+	fmt.Println("  CDF:")
+	var b strings.Builder
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10
+		fmt.Fprintf(&b, "  %4.1f %6.3f  ", x, m.CDF(x))
+		bar := int(m.CDF(x) * 40)
+		b.WriteString(strings.Repeat("#", bar))
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "zrtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"zerorefresh/internal/ostrace"
+)
+
+func TestPrintTraceRenders(t *testing.T) {
+	// printTrace writes to stdout; just ensure it does not panic and
+	// the underlying model is sane.
+	m, ok := ostrace.ByName("google")
+	if !ok {
+		t.Fatal("google missing")
+	}
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	printTrace(m, 1, 100)
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+	if !strings.Contains(out, "google") || !strings.Contains(out, "CDF") {
+		t.Fatalf("unexpected output: %q", out)
+	}
+}

@@ -1,0 +1,54 @@
+package zerorefresh_test
+
+import (
+	"fmt"
+
+	"zerorefresh"
+)
+
+// ExampleNewSystem builds a small system, cleanses the whole memory (as
+// the OS would at boot / page free) and shows the refresh engine skipping
+// everything after one learning window.
+func ExampleNewSystem() {
+	sys, err := zerorefresh.NewSystem(zerorefresh.DefaultConfig(2 << 20))
+	if err != nil {
+		panic(err)
+	}
+	sys.RunWindow() // learning window
+	st := sys.RunWindow()
+	fmt.Printf("idle memory refresh reduction: %.0f%%\n", 100*st.Reduction())
+	fmt.Printf("retention failures: %d\n", sys.DecayEvents())
+	// Output:
+	// idle memory refresh reduction: 100%
+	// retention failures: 0
+}
+
+// ExampleEBDIEncode shows the value transformation turning a value-local
+// cacheline into mostly-zero words.
+func ExampleEBDIEncode() {
+	line := zerorefresh.Line{1000, 1001, 999, 1004, 1000, 998, 1002, 1003}
+	enc := zerorefresh.BitPlaneTranspose(zerorefresh.EBDIEncode(line))
+	fmt.Println("zero tail words:", enc.ZeroTailWords())
+	back := zerorefresh.EBDIDecode(zerorefresh.BitPlaneInverse(enc))
+	fmt.Println("lossless:", back == line)
+	// Output:
+	// zero tail words: 6
+	// lossless: true
+}
+
+// ExampleRunScenario reproduces one cell of the paper's Figure 14 matrix.
+func ExampleRunScenario() {
+	prof, _ := zerorefresh.BenchmarkByName("sphinx3")
+	res, err := zerorefresh.RunScenario(zerorefresh.ExperimentOptions{
+		Capacity: 4 << 20,
+		Windows:  2,
+	}, prof, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sphinx3 fully-allocated reduction is high: %v\n", res.Reduction > 0.5)
+	fmt.Printf("data loss: %d\n", res.Decays)
+	// Output:
+	// sphinx3 fully-allocated reduction is high: true
+	// data loss: 0
+}

@@ -1,0 +1,64 @@
+// Transformlab: watch one cacheline travel through the ZERO-REFRESH value
+// transformation (Section V). A line of value-local 64-bit integers turns
+// into a base word, a thin band of bit-plane bits, and a long run of zero
+// words — the discharged rows the refresh engine skips.
+package main
+
+import (
+	"fmt"
+
+	"zerorefresh"
+)
+
+func dump(label string, l zerorefresh.Line) {
+	fmt.Printf("%-22s", label)
+	for i, w := range l {
+		if i > 0 && i%4 == 0 {
+			fmt.Printf("\n%22s", "")
+		}
+		fmt.Printf(" %016x", w)
+	}
+	zero := 0
+	for _, w := range l {
+		if w == 0 {
+			zero++
+		}
+	}
+	fmt.Printf("   [%d/8 zero words]\n", zero)
+}
+
+func main() {
+	// A slice of a simulation timestep: large, similar values.
+	base := uint64(0x00007fe2_4c81_9a30)
+	line := zerorefresh.Line{
+		base, base + 24, base - 8, base + 96,
+		base + 40, base - 104, base + 16, base + 72,
+	}
+	fmt.Println("A cacheline of eight 64-bit values within +/-104 of each other:")
+	dump("original", line)
+
+	fmt.Println("\nStage 1 — EBDI: word 0 becomes the base, the rest sign-folded deltas")
+	fmt.Println("(small +/- deltas now have all-zero high bits):")
+	ebdi := zerorefresh.EBDIEncode(line)
+	dump("after EBDI", ebdi)
+
+	fmt.Println("\nStage 2 — bit-plane transposition: the low-order delta bits gather")
+	fmt.Println("at the head of the line, leaving whole zero words behind:")
+	bp := zerorefresh.BitPlaneTranspose(ebdi)
+	dump("after bit-plane", bp)
+
+	fmt.Println("\nStage 3 — rotation maps each word to a chip so the zero words of")
+	fmt.Println("consecutive lines stack into fully discharged rows (true cells store")
+	fmt.Println("them as-is; anti-cell rows store the complement).")
+
+	fmt.Println("\nAnd back:")
+	back := zerorefresh.EBDIDecode(zerorefresh.BitPlaneInverse(bp))
+	dump("decoded", back)
+	if back == line {
+		fmt.Println("\nround trip exact: the transformation is lossless for any content.")
+	}
+
+	fmt.Println("\nAn OS-cleansed (all-zero) line is the extreme case:")
+	dump("zero line -> EBDI+BP", zerorefresh.BitPlaneTranspose(zerorefresh.EBDIEncode(zerorefresh.Line{})))
+	fmt.Println("all 8 word classes discharged: the whole row skips refresh forever.")
+}

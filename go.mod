@@ -1,0 +1,3 @@
+module zerorefresh
+
+go 1.22

@@ -1,0 +1,172 @@
+// Package cache implements the write-back cache hierarchy between the cores
+// and the memory controller: set-associative L1 and L2 (LLC) caches with
+// true-LRU replacement and write-allocate semantics. Its role in the
+// ZERO-REFRESH evaluation is to turn raw access streams into the LLC miss
+// and dirty-writeback traffic that reaches DRAM — the point where the value
+// transformation is applied (Figure 7).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"zerorefresh/internal/dram"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Table II parameters.
+var (
+	// L1Config is the 32 KB, 8-way, 64 B-line L1 data cache.
+	L1Config = Config{SizeBytes: 32 << 10, Ways: 8}
+	// L2Config is the 2 MB, 32-way per-core L2, the last-level cache.
+	L2Config = Config{SizeBytes: 2 << 20, Ways: 32}
+)
+
+// Stats counts accesses at one level.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64 // dirty evictions
+}
+
+// MissRate returns Misses/Accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lru is a per-set use counter; larger is more recent.
+	lru uint64
+}
+
+// Cache is one set-associative write-back level.
+type Cache struct {
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	useCtr  uint64
+	stats   Stats
+}
+
+// New builds a cache level. Sizes must yield a power-of-two number of sets.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 {
+		panic("cache: size and ways must be positive")
+	}
+	lines := cfg.SizeBytes / dram.LineBytes
+	if lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", lines, cfg.Ways))
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: %d sets is not a power of two", nsets))
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func (c *Cache) index(addr uint64) (set, tag uint64) {
+	blk := addr / dram.LineBytes
+	return blk & c.setMask, blk >> uint(bits.TrailingZeros64(c.setMask+1))
+}
+
+// Eviction describes a line pushed out of the cache.
+type Eviction struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Access looks up addr, allocating on miss. It returns whether the access
+// hit and, for misses that displaced a valid line, the eviction.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, ev *Eviction) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.stats.Accesses++
+	c.useCtr++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.useCtr
+			if write {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return true, nil
+		}
+	}
+	c.stats.Misses++
+	// Choose a victim: an invalid way, else the LRU way.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if ways[victim].valid {
+		c.stats.Evictions++
+		ev = &Eviction{Addr: c.evictAddr(set, ways[victim].tag), Dirty: ways[victim].dirty}
+		if ev.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.useCtr}
+	return false, ev
+}
+
+// Contains reports whether addr is present (without touching LRU state).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr if present, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			d := ways[i].dirty
+			ways[i] = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+func (c *Cache) evictAddr(set, tag uint64) uint64 {
+	return (tag<<uint(bits.TrailingZeros64(c.setMask+1)) | set) * dram.LineBytes
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"zerorefresh/internal/workload"
+)
+
+func TestExecutionDriverEndToEnd(t *testing.T) {
+	sys, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := workload.ByName("tpch-q5")
+	d, err := NewExecutionDriver(sys, prof, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive enough accesses to overflow the LLC within the working set
+	// and force real DRAM traffic, interleaved with refresh windows.
+	for phase := 0; phase < 3; phase++ {
+		if err := d.Run(150_000); err != nil {
+			t.Fatal(err)
+		}
+		sys.RunWindow()
+	}
+	accesses, fills, writebacks := d.Stats()
+	if accesses != 450_000 {
+		t.Fatalf("accesses = %d", accesses)
+	}
+	if fills == 0 || writebacks == 0 {
+		t.Fatalf("no DRAM traffic: %d fills, %d writebacks", fills, writebacks)
+	}
+	if sys.DecayEvents() != 0 {
+		t.Fatal("refresh skipping corrupted executed data")
+	}
+	// The hierarchy should be filtering most accesses.
+	l1 := d.Hierarchy().L1.Stats()
+	if l1.MissRate() > 0.6 {
+		t.Fatalf("L1 miss rate %.3f implausibly high", l1.MissRate())
+	}
+}
+
+func TestExecutionDriverDetectsCorruption(t *testing.T) {
+	// Sabotage: disable refresh skipping is safe, but disabling the
+	// refresh engine's refreshes entirely would decay written rows; the
+	// driver's fill-time verification must notice. We simulate decay by
+	// simply advancing the clock far past retention without windows.
+	sys, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := workload.ByName("tpch-q5")
+	d, err := NewExecutionDriver(sys, prof, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	_, _, writebacks := d.Stats()
+	if writebacks == 0 {
+		t.Skip("no writebacks to corrupt")
+	}
+	// No refresh at all for three retention windows: charged rows die.
+	sys.Clock += 3 * sys.DRAM.Config().Timing.TRET
+	err = d.Run(400_000)
+	if err == nil {
+		t.Fatal("decayed memory went unnoticed by fill verification")
+	}
+}
+
+func TestExecutionDriverValidation(t *testing.T) {
+	sys, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := workload.ByName("tpch-q5")
+	if _, err := NewExecutionDriver(sys, prof, 1, 7); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if _, err := NewExecutionDriver(sys, prof, 1, uint64(sys.DRAM.Config().Capacity())); err == nil {
+		t.Fatal("out-of-range working set accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/transform"
+	"zerorefresh/internal/workload"
+)
+
+// The repository's central safety property, stated over the whole design
+// space: for ANY combination of transformation stages, chip mapping,
+// cell-type fidelity, refresh granularity, cell-group interleave, rank
+// count and workload, a system that runs windows with skipping enabled
+// never decays a row and always reads back exactly what was written.
+func TestQuickNoConfigurationEverLosesData(t *testing.T) {
+	mappings := []transform.ChipMapping{
+		transform.RotatedMapping{}, transform.DirectMapping{}, transform.ByteScatterMapping{},
+	}
+	benches := workload.Benchmarks()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig(2 << 20) // small: 512 pages total
+		cfg.Seed = uint64(seed)
+		cfg.Transform = transform.Options{
+			EBDI:      rng.Intn(2) == 0,
+			BitPlane:  rng.Intn(2) == 0,
+			CellAware: rng.Intn(2) == 0,
+		}
+		cfg.Mapping = mappings[rng.Intn(len(mappings))]
+		cfg.Refresh = refresh.Config{
+			Skip:         true,
+			RowsPerAR:    []int{4, 8, 16}[rng.Intn(3)],
+			Stagger:      rng.Intn(2) == 0,
+			StatusInDRAM: rng.Intn(2) == 0,
+			AllBank:      rng.Intn(2) == 0,
+		}
+		cfg.CellGroupRows = []int{8, 64, 512}[rng.Intn(3)]
+		cfg.Ranks = []int{1, 2}[rng.Intn(2)]
+		if rng.Intn(2) == 0 {
+			cfg.CellTypes = CellTypesNoisy
+			cfg.NoisyRate = rng.Float64() * 0.5
+		}
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+
+		prof := benches[rng.Intn(len(benches))]
+		// Fill a random subset of pages, cleanse another.
+		filled := map[int]uint64{}
+		for i := 0; i < 40; i++ {
+			p := rng.Intn(sys.Pages())
+			v := uint64(rng.Intn(3))
+			if err := sys.FillPageFromProfile(prof, p, cfg.Seed, v); err != nil {
+				return false
+			}
+			filled[p] = v
+		}
+		for i := 0; i < 10; i++ {
+			p := rng.Intn(sys.Pages())
+			if err := sys.CleansePage(p); err != nil {
+				return false
+			}
+			delete(filled, p)
+		}
+		// Several windows with occasional rewrites.
+		for w := 0; w < 4; w++ {
+			if rng.Intn(2) == 0 {
+				p := rng.Intn(sys.Pages())
+				v := uint64(10 + w)
+				if err := sys.FillPageFromProfile(prof, p, cfg.Seed, v); err != nil {
+					return false
+				}
+				filled[p] = v
+			}
+			sys.RunWindow()
+		}
+		if sys.DecayEvents() != 0 {
+			t.Logf("seed %d: decay events under %+v", seed, cfg)
+			return false
+		}
+		for p, v := range filled {
+			if err := sys.VerifyPage(prof, p, cfg.Seed, v); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparedRowsReduceSkipping(t *testing.T) {
+	norm := func(frac float64) float64 {
+		cfg := DefaultConfig(4 << 20)
+		cfg.SparedRowFraction = frac
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunWindow() // idle memory: everything but spared blocks skips
+		return sys.RunWindow().NormalizedRefresh()
+	}
+	clean, spared := norm(0), norm(0.02)
+	if spared <= clean {
+		t.Fatalf("sparing should force refreshes: %.4f vs %.4f", spared, clean)
+	}
+}

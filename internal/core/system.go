@@ -1,0 +1,287 @@
+// Package core assembles the complete ZERO-REFRESH system of the paper: a
+// DRAM rank with charge semantics (internal/dram), the DRAM-side
+// charge-aware refresh engine with its discharged-status and access-bit
+// tables (internal/refresh), the CPU-side value-transformation pipeline
+// (internal/transform), and the memory controller datapath that connects
+// them (internal/memctrl). It also provides the page-level operations the
+// experiments are built from: filling pages with application content,
+// cleansing pages OS-style, and running retention windows.
+package core
+
+import (
+	"fmt"
+
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/memctrl"
+	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/transform"
+	"zerorefresh/internal/workload"
+)
+
+// CellTypeSource selects how the CPU side learns the true/anti-cell layout.
+type CellTypeSource int
+
+const (
+	// CellTypesExact uses an oracle (perfect identification).
+	CellTypesExact CellTypeSource = iota
+	// CellTypesProbed runs the boot-time identification procedure of
+	// Section II-B against the module.
+	CellTypesProbed
+	// CellTypesNoisy flips a fraction of the oracle's answers
+	// (sensitivity studies; Section V-B argues this is safe).
+	CellTypesNoisy
+)
+
+// Config configures a full system.
+type Config struct {
+	// Capacity is the total memory capacity in bytes, split evenly over
+	// Ranks.
+	Capacity int64
+	// Ranks is the number of DRAM ranks (default 1). Each rank has its
+	// own module and refresh engine; the controller routes by address.
+	Ranks int
+	// RowBytes is the rank-level row size (2-8 KB; 4 KB default).
+	RowBytes int
+	// CellGroupRows overrides the true/anti-cell interleaving period
+	// (default 512, the value prior work found in common devices).
+	// Smaller values exercise anti-cell rows at small test capacities.
+	CellGroupRows int
+	// Extended selects the 32 ms extended-temperature retention window;
+	// false selects the 64 ms normal window.
+	Extended bool
+	// Refresh configures the charge-aware engine.
+	Refresh refresh.Config
+	// Transform selects the pipeline stages.
+	Transform transform.Options
+	// Mapping is the cacheline-to-chip mapping (rotated by default).
+	Mapping transform.ChipMapping
+	// CellTypes selects the identification fidelity; NoisyRate applies
+	// to CellTypesNoisy.
+	CellTypes CellTypeSource
+	NoisyRate float64
+	// SparedRowFraction marks this fraction of rank rows as remapped by
+	// row sparing; spared rows never skip refresh (Section IV-B).
+	SparedRowFraction float64
+	// Seed drives all stochastic choices.
+	Seed uint64
+}
+
+// DefaultConfig is the full ZERO-REFRESH design at the given capacity,
+// with the access-bit granularity scaled so the written-footprint-to-set
+// pressure matches the paper-scale geometry (Section IV-B's 128-row sets
+// on a 32 GB rank correspond to 16-row sets at the default 1/1024
+// simulation scale).
+func DefaultConfig(capacity int64) Config {
+	return Config{
+		Capacity: capacity,
+		RowBytes: 4096,
+		Extended: true,
+		Refresh: refresh.Config{
+			Skip:         true,
+			RowsPerAR:    16,
+			Stagger:      true,
+			StatusInDRAM: true,
+		},
+		Transform: transform.DefaultOptions(),
+		Mapping:   transform.RotatedMapping{},
+		Seed:      1,
+	}
+}
+
+// RankUnit is one rank's hardware: module, refresh engine and controller
+// datapath. The value-transformation pipeline is CPU-side and shared.
+type RankUnit struct {
+	DRAM       *dram.Module
+	Engine     *refresh.Engine
+	Controller *memctrl.Controller
+}
+
+// System is one fully wired simulated machine. The DRAM, Engine and
+// Controller fields alias rank 0 for the (default) single-rank
+// configuration; multi-rank systems expose all ranks via Ranks.
+type System struct {
+	Config     Config
+	DRAM       *dram.Module
+	Engine     *refresh.Engine
+	Pipeline   *transform.Pipeline
+	Controller *memctrl.Controller
+	// Ranks holds every rank; Ranks[0] is aliased by the fields above.
+	Ranks []RankUnit
+
+	// Clock is the current simulation time; RunWindow advances it by
+	// one retention window.
+	Clock dram.Time
+}
+
+// NewSystem builds and wires a system.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Mapping == nil {
+		cfg.Mapping = transform.RotatedMapping{}
+	}
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 1
+	}
+	if cfg.Ranks < 1 || cfg.Capacity%int64(cfg.Ranks) != 0 {
+		return nil, fmt.Errorf("core: capacity %d not divisible over %d ranks", cfg.Capacity, cfg.Ranks)
+	}
+	perRank := cfg.Capacity / int64(cfg.Ranks)
+	dcfg := dram.DefaultConfig(perRank)
+	if cfg.RowBytes != 0 {
+		dcfg.RowBytes = cfg.RowBytes
+		dcfg.RowsPerBank = int(perRank / int64(dcfg.Banks) / int64(dcfg.RowBytes))
+	}
+	if cfg.CellGroupRows != 0 {
+		dcfg.CellGroupRows = cfg.CellGroupRows
+	}
+	if !cfg.Extended {
+		dcfg.Timing.TRET = dram.TRETNormal
+	}
+	if err := dcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	// The cell-type layout is a device property, identical across the
+	// identically-populated ranks, so one CPU-side map serves them all.
+	var types transform.CellTypeMap
+	switch cfg.CellTypes {
+	case CellTypesExact:
+		types = transform.ExactTypes{Cfg: dcfg}
+	case CellTypesProbed:
+		probe := dram.New(dcfg)
+		probed, _ := transform.Identify(probe, 0)
+		types = probed
+	case CellTypesNoisy:
+		types = transform.NewNoisyTypes(transform.ExactTypes{Cfg: dcfg}, dcfg.RowsPerBank, cfg.NoisyRate, int64(cfg.Seed))
+	default:
+		return nil, fmt.Errorf("core: unknown cell type source %d", cfg.CellTypes)
+	}
+	pipe := transform.NewPipeline(cfg.Transform, types)
+
+	sys := &System{Config: cfg, Pipeline: pipe}
+	for rank := 0; rank < cfg.Ranks; rank++ {
+		mod := dram.New(dcfg)
+		if cfg.SparedRowFraction > 0 {
+			rng := workload.NewSplitMix(workload.Hash(cfg.Seed, uint64(rank), 0x5a7ed))
+			for r := 0; r < dcfg.RowsPerBank; r++ {
+				if rng.Float64() < cfg.SparedRowFraction {
+					mod.MarkSpared(r)
+				}
+			}
+		}
+		eng := refresh.NewEngine(mod, cfg.Refresh)
+		ctrl := memctrl.NewController(mod, eng, pipe, cfg.Mapping)
+		sys.Ranks = append(sys.Ranks, RankUnit{DRAM: mod, Engine: eng, Controller: ctrl})
+	}
+	sys.DRAM = sys.Ranks[0].DRAM
+	sys.Engine = sys.Ranks[0].Engine
+	sys.Controller = sys.Ranks[0].Controller
+	return sys, nil
+}
+
+// rankOf routes a global byte address: ranks are interleaved at rank-
+// capacity granularity (rank = addr / perRankCapacity).
+func (s *System) rankOf(addr uint64) (unit RankUnit, local uint64) {
+	per := uint64(s.DRAM.Config().Capacity())
+	r := int(addr / per)
+	return s.Ranks[r], addr % per
+}
+
+// WriteLineAt and ReadLineAt route global addresses across ranks.
+func (s *System) WriteLineAt(addr uint64, data [64]byte) error {
+	u, local := s.rankOf(addr)
+	return u.Controller.WriteLine(local, data, s.Clock)
+}
+
+// ReadLineAt reads the cacheline at a global address.
+func (s *System) ReadLineAt(addr uint64) ([64]byte, error) {
+	u, local := s.rankOf(addr)
+	return u.Controller.ReadLine(local, s.Clock)
+}
+
+// Pages returns the number of row-sized pages across all ranks (pages and
+// rank-level rows coincide at the default 4 KB row size).
+func (s *System) Pages() int {
+	return len(s.Ranks) * int(s.DRAM.Config().Capacity()/int64(s.DRAM.Config().RowBytes))
+}
+
+// PageAddr returns the base physical address of a page.
+func (s *System) PageAddr(page int) uint64 {
+	return uint64(page) * uint64(s.DRAM.Config().RowBytes)
+}
+
+// WritePage stores one full page through the datapath, fetching each line
+// from content(lineIdx).
+func (s *System) WritePage(page int, content func(line int) [64]byte) error {
+	base := s.PageAddr(page)
+	lines := s.DRAM.Config().RowBytes / dram.LineBytes
+	for ln := 0; ln < lines; ln++ {
+		if err := s.WriteLineAt(base+uint64(ln)*dram.LineBytes, content(ln)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FillPageFromProfile writes benchmark content into a page, addressing the
+// profile's (infinite, deterministic) memory image by the page's own
+// location. version selects a value generation: refilling with a higher
+// version models stores that update values without changing the resident
+// data structures.
+func (s *System) FillPageFromProfile(prof workload.Profile, page int, contentSeed, version uint64) error {
+	lines := uint64(s.DRAM.Config().RowBytes / dram.LineBytes)
+	base := uint64(page) * lines
+	return s.WritePage(page, func(ln int) [64]byte {
+		return prof.LineAt(contentSeed, base+uint64(ln), version)
+	})
+}
+
+// CleansePage zero-fills a page through the datapath, as the OS's
+// free-time cleansing would (Section III-B).
+func (s *System) CleansePage(page int) error {
+	return s.WritePage(page, func(int) [64]byte { return [64]byte{} })
+}
+
+// RunWindow executes one full retention window of refresh activity on
+// every rank and advances the clock to its end.
+func (s *System) RunWindow() refresh.CycleStats {
+	var total refresh.CycleStats
+	total.Start = s.Clock
+	for _, u := range s.Ranks {
+		total.Add(u.Engine.RunCycle(s.Clock))
+	}
+	s.Clock = total.End
+	return total
+}
+
+// ReadPageLine reads one line of a page through the datapath.
+func (s *System) ReadPageLine(page, line int) ([64]byte, error) {
+	return s.ReadLineAt(s.PageAddr(page) + uint64(line)*dram.LineBytes)
+}
+
+// VerifyPage checks that a page's content matches the generator and
+// version it was filled from; used by integrity tests and the examples.
+func (s *System) VerifyPage(prof workload.Profile, page int, contentSeed, version uint64) error {
+	lines := s.DRAM.Config().RowBytes / dram.LineBytes
+	base := uint64(page) * uint64(lines)
+	for ln := 0; ln < lines; ln++ {
+		got, err := s.ReadPageLine(page, ln)
+		if err != nil {
+			return err
+		}
+		want := prof.LineAt(contentSeed, base+uint64(ln), version)
+		if got != want {
+			return fmt.Errorf("core: page %d line %d corrupted", page, ln)
+		}
+	}
+	return nil
+}
+
+// DecayEvents reports retention failures observed so far across all ranks
+// (must stay zero under correct operation).
+func (s *System) DecayEvents() int64 {
+	var n int64
+	for _, u := range s.Ranks {
+		n += u.DRAM.Stats().DecayEvents
+	}
+	return n
+}

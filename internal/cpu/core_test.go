@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerfectMemoryIPC(t *testing.T) {
+	c := DefaultCoreConfig()
+	ipc := c.IPC(1_000_000, MemoryStats{})
+	if math.Abs(ipc-1/c.BaseCPI) > 1e-12 {
+		t.Fatalf("IPC = %v, want %v", ipc, 1/c.BaseCPI)
+	}
+}
+
+func TestMissesReduceIPC(t *testing.T) {
+	c := DefaultCoreConfig()
+	base := c.IPC(1_000_000, MemoryStats{Misses: 0})
+	loaded := c.IPC(1_000_000, MemoryStats{Misses: 10_000, AvgLatencyNs: 80})
+	if loaded >= base {
+		t.Fatalf("misses did not reduce IPC: %v >= %v", loaded, base)
+	}
+	// 10k misses * 80ns * 4GHz / MLP 4 = 800k stall cycles on top of
+	// 500k compute cycles -> IPC = 1e6/1.3e6.
+	want := 1e6 / (5e5 + 8e5)
+	if math.Abs(loaded-want) > 1e-9 {
+		t.Fatalf("IPC = %v, want %v", loaded, want)
+	}
+}
+
+func TestLatencyMonotonicity(t *testing.T) {
+	c := DefaultCoreConfig()
+	prev := math.Inf(1)
+	for _, lat := range []float64{20, 40, 80, 160, 320} {
+		ipc := c.IPC(1e6, MemoryStats{Misses: 5000, AvgLatencyNs: lat})
+		if ipc >= prev {
+			t.Fatalf("IPC not monotone in latency at %vns", lat)
+		}
+		prev = ipc
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	c := DefaultCoreConfig()
+	base := MemoryStats{Misses: 20_000, AvgLatencyNs: 100}
+	improved := MemoryStats{Misses: 20_000, AvgLatencyNs: 90}
+	s := c.Speedup(1e6, base, improved)
+	if s <= 1 {
+		t.Fatalf("Speedup = %v, want > 1", s)
+	}
+	if s2 := c.Speedup(1e6, base, base); math.Abs(s2-1) > 1e-12 {
+		t.Fatalf("self speedup = %v", s2)
+	}
+}
+
+func TestMemoryIntensityDrivesSensitivity(t *testing.T) {
+	// A high-MPKI workload must gain more from a latency cut than a
+	// low-MPKI one — the gemsFDTD-vs-gobmk contrast of Figure 17.
+	c := DefaultCoreConfig()
+	gain := func(misses int64) float64 {
+		return c.Speedup(1e6,
+			MemoryStats{Misses: misses, AvgLatencyNs: 100},
+			MemoryStats{Misses: misses, AvgLatencyNs: 85})
+	}
+	if gain(25_000) <= gain(1_000) {
+		t.Fatal("memory-bound workload should be more refresh-sensitive")
+	}
+}
+
+func TestInstructionsIn(t *testing.T) {
+	c := DefaultCoreConfig()
+	// 1ms at 4GHz and IPC 2 -> 8M instructions.
+	if got := c.InstructionsIn(1e6, 2.0); got != 8_000_000 {
+		t.Fatalf("InstructionsIn = %d", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultCoreConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := CoreConfig{FreqGHz: 0, BaseCPI: 1, MLP: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package dram
+
+// CellType distinguishes the two row partitions created by the differential
+// sense amplifier (Section II-B of the paper).
+//
+// For a true-cell row the charged state is read as logical 1 and the
+// discharged state as logical 0. For an anti-cell row the mapping is
+// inverted: a charged cell reads as 0 and a discharged cell as 1. Only a
+// *discharged* cell can survive without refresh, so the value that may skip
+// refresh is 0 on true-cell rows and 1 on anti-cell rows.
+type CellType uint8
+
+const (
+	// TrueCell rows read charged cells as logical 1.
+	TrueCell CellType = iota
+	// AntiCell rows read charged cells as logical 0.
+	AntiCell
+)
+
+// String implements fmt.Stringer.
+func (t CellType) String() string {
+	switch t {
+	case TrueCell:
+		return "true-cell"
+	case AntiCell:
+		return "anti-cell"
+	default:
+		return "unknown-cell"
+	}
+}
+
+// DischargedWord returns the 64-bit logical value a fully discharged word
+// reads as for this cell type: all zeros on true-cell rows, all ones on
+// anti-cell rows.
+func (t CellType) DischargedWord() uint64 {
+	if t == AntiCell {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// ChargedBits returns a mask of the bits of the logical word v that are
+// stored in the *charged* state for this cell type. A word is refresh-free
+// exactly when this mask is zero.
+func (t CellType) ChargedBits(v uint64) uint64 {
+	if t == AntiCell {
+		return ^v
+	}
+	return v
+}
+
+// Decay returns the logical value of the word v after all charged cells have
+// leaked: every charged bit flips to the discharged reading while discharged
+// bits are unaffected. For both cell types the result is the fully
+// discharged pattern; Decay exists to document that property and to keep the
+// charge semantics in one place.
+func (t CellType) Decay(v uint64) uint64 {
+	return t.DischargedWord()
+}

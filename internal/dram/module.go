@@ -1,0 +1,246 @@
+package dram
+
+import (
+	"fmt"
+)
+
+// Stats counts the operations a Module has performed. All counters are
+// cumulative since construction.
+type Stats struct {
+	// Activations counts row activations caused by reads and writes
+	// (one per chip-row touched).
+	Activations int64
+	// Refreshes counts chip-row refresh operations actually performed.
+	Refreshes int64
+	// WordReads and WordWrites count word-granularity data transfers.
+	WordReads  int64
+	WordWrites int64
+	// DecayEvents counts chip-rows that lost charged data because their
+	// retention deadline passed before the next recharge. A correctly
+	// operating refresh policy keeps this at zero.
+	DecayEvents int64
+}
+
+// Module simulates one DRAM rank: Chips devices, each with Banks banks of
+// RowsPerBank rows. Storage is sparse; rows that have never held a charged
+// cell consume no memory.
+//
+// The module is deliberately policy-free: it performs reads, writes and
+// refreshes when told to and destroys data whose retention deadline was
+// missed. Deciding *which* rows to refresh is the job of internal/refresh.
+type Module struct {
+	cfg Config
+	// banks[chip*cfg.Banks+bank][row] holds per-row storage; nil until
+	// a row first needs materialized state.
+	banks [][]*row
+	// spared marks rank-level row indices remapped by row sparing for
+	// fault tolerance; refresh skipping must be disabled for them
+	// (Section IV-B).
+	spared map[int]bool
+	stats  Stats
+}
+
+// New constructs a Module. It panics if the configuration is invalid, as a
+// bad geometry is a programming error rather than a runtime condition.
+func New(cfg Config) *Module {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Module{
+		cfg:    cfg,
+		banks:  make([][]*row, cfg.Chips*cfg.Banks),
+		spared: make(map[int]bool),
+	}
+	for i := range m.banks {
+		m.banks[i] = make([]*row, cfg.RowsPerBank)
+	}
+	return m
+}
+
+// Config returns the module geometry.
+func (m *Module) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the operation counters.
+func (m *Module) Stats() Stats { return m.stats }
+
+// MarkSpared records that the given rank-level row index is backed by a
+// spare row. Spared rows never report themselves as discharged so the
+// refresh engine cannot skip them.
+func (m *Module) MarkSpared(rowIdx int) {
+	m.checkRow(rowIdx)
+	m.spared[rowIdx] = true
+}
+
+// IsSpared reports whether the row index is remapped by row sparing.
+func (m *Module) IsSpared(rowIdx int) bool { return m.spared[rowIdx] }
+
+func (m *Module) checkAddr(chip, bank, rowIdx int) {
+	if chip < 0 || chip >= m.cfg.Chips {
+		panic(fmt.Sprintf("dram: chip %d out of range [0,%d)", chip, m.cfg.Chips))
+	}
+	if bank < 0 || bank >= m.cfg.Banks {
+		panic(fmt.Sprintf("dram: bank %d out of range [0,%d)", bank, m.cfg.Banks))
+	}
+	m.checkRow(rowIdx)
+}
+
+func (m *Module) checkRow(rowIdx int) {
+	if rowIdx < 0 || rowIdx >= m.cfg.RowsPerBank {
+		panic(fmt.Sprintf("dram: row %d out of range [0,%d)", rowIdx, m.cfg.RowsPerBank))
+	}
+}
+
+func (m *Module) bankOf(chip, bank int) []*row {
+	return m.banks[chip*m.cfg.Banks+bank]
+}
+
+// activate brings the chip-row into the sense amplifiers, enforcing the
+// retention model: if the row held charged cells and the deadline has
+// passed, the charge — and the data it carried — is gone before the access
+// observes it. On successful activation the write-back through the sense
+// amplifiers fully recharges the row.
+func (m *Module) activate(chip, bank, rowIdx int, now Time) *row {
+	b := m.bankOf(chip, bank)
+	r := b[rowIdx]
+	if r == nil {
+		r = &row{lastRecharge: now}
+		b[rowIdx] = r
+	}
+	m.expire(r, now)
+	r.lastRecharge = now
+	m.stats.Activations++
+	return r
+}
+
+// expire applies retention loss to a row if its deadline has passed.
+func (m *Module) expire(r *row, now Time) {
+	if r.chargedWords > 0 && now-r.lastRecharge > m.cfg.Timing.TRET {
+		r.decay()
+		m.stats.DecayEvents++
+	}
+}
+
+// WriteWord stores the logical 64-bit value v into word slot wordIdx of the
+// given chip-row. The activation recharges the whole row.
+func (m *Module) WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now Time) {
+	m.checkAddr(chip, bank, rowIdx)
+	if wordIdx < 0 || wordIdx >= m.cfg.WordsPerChipRow() {
+		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.cfg.WordsPerChipRow()))
+	}
+	r := m.activate(chip, bank, rowIdx, now)
+	r.writeWord(wordIdx, v, m.cfg.WordsPerChipRow(), m.cfg.CellTypeOf(rowIdx))
+	m.stats.WordWrites++
+}
+
+// ReadWord returns the logical 64-bit value of word slot wordIdx of the
+// given chip-row. Rows whose retention deadline passed return the decayed
+// (fully discharged) pattern — exactly what the hardware would read.
+func (m *Module) ReadWord(chip, bank, rowIdx, wordIdx int, now Time) uint64 {
+	m.checkAddr(chip, bank, rowIdx)
+	if wordIdx < 0 || wordIdx >= m.cfg.WordsPerChipRow() {
+		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.cfg.WordsPerChipRow()))
+	}
+	r := m.activate(chip, bank, rowIdx, now)
+	m.stats.WordReads++
+	return r.readWord(wordIdx, m.cfg.CellTypeOf(rowIdx))
+}
+
+// Refresh recharges one chip-row and reports whether the row was fully
+// discharged. The discharged status comes for free: the refresh already
+// senses every cell of the row, and a wired-OR of the charge lines yields
+// the row status with negligible area (Section IV-B).
+func (m *Module) Refresh(chip, bank, rowIdx int, now Time) (discharged bool) {
+	m.checkAddr(chip, bank, rowIdx)
+	b := m.bankOf(chip, bank)
+	r := b[rowIdx]
+	if r == nil {
+		// Never-touched row: fully discharged; the refresh is still
+		// performed by the hardware when commanded.
+		m.stats.Refreshes++
+		return true
+	}
+	m.expire(r, now)
+	r.lastRecharge = now
+	m.stats.Refreshes++
+	return r.discharged()
+}
+
+// SenseDischarged reports whether a chip-row currently contains no charged
+// cells, without recharging it. This models the detector output available
+// while the row sits in the sense amplifiers; standalone use is only for
+// instrumentation and tests. Spared rows always report false so that the
+// refresh engine cannot skip them.
+func (m *Module) SenseDischarged(chip, bank, rowIdx int) bool {
+	m.checkAddr(chip, bank, rowIdx)
+	if m.spared[rowIdx] {
+		return false
+	}
+	return m.bankOf(chip, bank)[rowIdx].discharged()
+}
+
+// RowDischargedAllChips reports whether the rank-level row (same index in
+// every chip) is discharged in all chips — the condition for skipping one
+// refresh step under the rank-synchronous skip design.
+func (m *Module) RowDischargedAllChips(bank, rowIdx int) bool {
+	for chip := 0; chip < m.cfg.Chips; chip++ {
+		if !m.SenseDischarged(chip, bank, rowIdx) {
+			return false
+		}
+	}
+	return true
+}
+
+// ChargedCellCount returns the number of charged cells in one chip-row;
+// used by diagnostics and tests.
+func (m *Module) ChargedCellCount(chip, bank, rowIdx int) int {
+	m.checkAddr(chip, bank, rowIdx)
+	r := m.bankOf(chip, bank)[rowIdx]
+	if r == nil || r.words == nil {
+		return 0
+	}
+	return popcountCharged(r.words, m.cfg.CellTypeOf(rowIdx))
+}
+
+// EverDecayed reports whether the chip-row lost data to retention failure at
+// any point. Integrity tests assert this stays false for every row under a
+// correct refresh policy.
+func (m *Module) EverDecayed(chip, bank, rowIdx int) bool {
+	m.checkAddr(chip, bank, rowIdx)
+	r := m.bankOf(chip, bank)[rowIdx]
+	return r != nil && r.everDecayed
+}
+
+// CheckIntegrity scans all materialized rows and returns the number of rows
+// that (a) have already lost data, or (b) hold charged cells whose deadline
+// has passed as of now and would lose data on their next activation.
+func (m *Module) CheckIntegrity(now Time) (violations int) {
+	for _, b := range m.banks {
+		for _, r := range b {
+			if r == nil {
+				continue
+			}
+			if r.everDecayed {
+				violations++
+				continue
+			}
+			if r.chargedWords > 0 && now-r.lastRecharge > m.cfg.Timing.TRET {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+// MaterializedRows returns the number of chip-rows currently holding backing
+// storage; useful for validating the sparse representation.
+func (m *Module) MaterializedRows() int {
+	n := 0
+	for _, b := range m.banks {
+		for _, r := range b {
+			if r != nil && r.words != nil {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package dram
+
+import "math/bits"
+
+// row is the per-chip storage for one rank-level row index. Rows are stored
+// sparsely: a nil words slice means the row is in the fully discharged state
+// (the power-on state of a capacitor array, and also the state the OS's
+// zero-filled pages transform into). This keeps multi-GB geometries cheap as
+// long as most of memory is idle.
+type row struct {
+	// words holds the logical 64-bit values of the row, or nil when the
+	// row is fully discharged.
+	words []uint64
+	// chargedWords counts the words containing at least one charged
+	// cell. The row may skip refresh exactly when chargedWords == 0;
+	// this mirrors the wired-OR discharge detector of Section IV-B in
+	// O(1) instead of re-sensing the whole row.
+	chargedWords int
+	// lastRecharge is the time of the last activation or refresh. Any
+	// activation (read, write or refresh) restores full charge to the
+	// row via the sense amplifiers.
+	lastRecharge Time
+	// everDecayed records that the row lost charged data at least once
+	// because its refresh deadline was missed.
+	everDecayed bool
+}
+
+// chargedBitsIn recomputes chargedWords from scratch; used by tests and by
+// mutation paths that rewrite the whole row.
+func recountCharged(words []uint64, ct CellType) int {
+	n := 0
+	for _, w := range words {
+		if ct.ChargedBits(w) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// popcountCharged returns the total number of charged cells in the row;
+// used by diagnostics and tests.
+func popcountCharged(words []uint64, ct CellType) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(ct.ChargedBits(w))
+	}
+	return n
+}
+
+// materialize allocates backing storage initialized to the fully discharged
+// pattern for the row's cell type.
+func (r *row) materialize(wordsPerRow int, ct CellType) {
+	r.words = make([]uint64, wordsPerRow)
+	if d := ct.DischargedWord(); d != 0 {
+		for i := range r.words {
+			r.words[i] = d
+		}
+	}
+}
+
+// readWord returns the logical value of word slot i, treating a nil row as
+// fully discharged.
+func (r *row) readWord(i int, ct CellType) uint64 {
+	if r == nil || r.words == nil {
+		return ct.DischargedWord()
+	}
+	return r.words[i]
+}
+
+// writeWord stores v into word slot i, maintaining the charged-word count.
+// It returns true if the row is fully discharged afterwards.
+func (r *row) writeWord(i int, v uint64, wordsPerRow int, ct CellType) bool {
+	if r.words == nil {
+		if ct.ChargedBits(v) == 0 {
+			// Writing the discharged pattern into a discharged row
+			// leaves it discharged; no storage needed.
+			return true
+		}
+		r.materialize(wordsPerRow, ct)
+	}
+	oldCharged := ct.ChargedBits(r.words[i]) != 0
+	newCharged := ct.ChargedBits(v) != 0
+	r.words[i] = v
+	switch {
+	case oldCharged && !newCharged:
+		r.chargedWords--
+	case !oldCharged && newCharged:
+		r.chargedWords++
+	}
+	if r.chargedWords == 0 {
+		// chargedWords == 0 implies every word equals the discharged
+		// pattern, so the backing array can be released again.
+		r.words = nil
+		return true
+	}
+	return false
+}
+
+// decay models retention loss: every charged cell leaks to the discharged
+// state, which for a whole row collapses to the discharged pattern. The data
+// previously stored in charged cells is destroyed.
+func (r *row) decay() {
+	r.words = nil
+	r.chargedWords = 0
+	r.everDecayed = true
+}
+
+// discharged reports whether the row contains no charged cells (and hence
+// may skip refresh without losing data).
+func (r *row) discharged() bool {
+	return r == nil || r.chargedWords == 0
+}

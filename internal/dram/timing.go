@@ -1,0 +1,81 @@
+// Package dram models a DDRx DRAM rank at cell-charge granularity: chips,
+// banks and rows whose bits carry an explicit charged/discharged state, the
+// true/anti-cell layout imposed by differential sense amplifiers, and a
+// retention clock that destroys charged cells which miss their refresh
+// deadline. It is the substrate on which the ZERO-REFRESH charge-aware
+// refresh engine (internal/refresh) and the CPU-side value transformation
+// (internal/transform) are evaluated.
+package dram
+
+// Time is a simulation timestamp in nanoseconds.
+type Time int64
+
+// Common durations expressed in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// Timing collects the DRAM timing parameters used by the simulator. The
+// defaults follow Table II of the paper (DDR4-style device, values in ns)
+// plus the JEDEC retention constants from Section II-C.
+type Timing struct {
+	// TRET is the retention time: every charged cell must be recharged at
+	// least once per TRET or it loses its value. 64 ms in the normal
+	// temperature range, 32 ms in the extended (>85 C) range.
+	TRET Time
+
+	// NumAutoRefresh is the number of auto-refresh commands the memory
+	// controller spreads over one TRET window (8192 for DDRx). The command
+	// interval tREFI is TRET/NumAutoRefresh.
+	NumAutoRefresh int
+
+	// TRFC is the time one auto-refresh command occupies the refreshed
+	// bank (per-bank policy) or rank (all-bank policy).
+	TRFC Time
+
+	// Row/bank timing parameters (Table II), used by the memory
+	// controller's performance model.
+	TRAS Time
+	TRCD Time
+	TRRD Time
+	TFAW Time
+	TRP  Time
+	TCAS Time
+	// TBurst is the data-bus occupancy of one 64B cacheline transfer.
+	TBurst Time
+}
+
+// Retention-window constants from Section II-C of the paper.
+const (
+	TRETNormal   = 64 * Millisecond // below 85 C
+	TRETExtended = 32 * Millisecond // above 85 C
+)
+
+// DefaultTiming returns the Table II configuration with the extended
+// temperature range retention window used for the paper's base experiments.
+func DefaultTiming() Timing {
+	return Timing{
+		TRET:           TRETExtended,
+		NumAutoRefresh: 8192,
+		TRFC:           28 * Nanosecond,
+		TRAS:           28 * Nanosecond,
+		TRCD:           11 * Nanosecond,
+		TRRD:           5 * Nanosecond,
+		TFAW:           24 * Nanosecond,
+		TRP:            11 * Nanosecond,
+		TCAS:           11 * Nanosecond,
+		TBurst:         4 * Nanosecond,
+	}
+}
+
+// TREFI returns the interval between consecutive auto-refresh commands for
+// one bank (per-bank policy aims NumAutoRefresh commands per bank per TRET).
+func (t Timing) TREFI() Time {
+	if t.NumAutoRefresh <= 0 {
+		return t.TRET
+	}
+	return t.TRET / Time(t.NumAutoRefresh)
+}

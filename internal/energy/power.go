@@ -1,0 +1,129 @@
+// Package energy implements the power and energy models of the evaluation:
+// a Micron-power-calculator-style DDR4 model built from the IDD currents of
+// Table II (used for Figure 4's refresh-power share and Figure 15's energy
+// comparison), the CACTI-quoted SRAM leakage constants of Section IV-B, and
+// the Vivado-quoted EBDI operation energy of Section VI-B.
+package energy
+
+import "zerorefresh/internal/dram"
+
+// PowerParams holds the per-device electrical parameters. Currents are in
+// mA, voltage in V, as in Table II and DDR4 datasheets.
+type PowerParams struct {
+	VDD float64
+	// Operating currents (Table II "Chip Energy Parameters").
+	IDD0  float64 // activate-precharge
+	IDD1  float64 // activate-read-precharge
+	IDD2P float64 // precharge power-down standby
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4W float64 // burst write
+	IDD4R float64 // burst read
+	IDD5  float64 // burst refresh
+	IDD6  float64 // self refresh
+	IDD7  float64 // bank interleave read
+}
+
+// TableII returns the paper's chip energy parameters.
+func TableII() PowerParams {
+	return PowerParams{
+		VDD:  1.2,
+		IDD0: 23, IDD1: 30, IDD2P: 7, IDD2N: 12, IDD3N: 8,
+		IDD4W: 58, IDD4R: 60, IDD5: 120, IDD6: 8, IDD7: 105,
+	}
+}
+
+// nanojoules for a current step of (mA) over (ns) at VDD: mA*V*ns = pJ.
+func (p PowerParams) pulsePJ(deltaMA float64, ns float64) float64 {
+	return deltaMA * p.VDD * ns
+}
+
+// RefreshEnergyPerARJ returns the energy of one auto-refresh command across
+// the rank: the refresh current above active standby, integrated over tRFC,
+// times the device count.
+func (p PowerParams) RefreshEnergyPerARJ(tRFCns float64, devices int) float64 {
+	return p.pulsePJ(p.IDD5-p.IDD3N, tRFCns) * float64(devices) * 1e-12
+}
+
+// ActivateEnergyJ returns the energy of one row activate+precharge cycle
+// across the rank (used for status-table reads/writes, which each cost one
+// row cycle in the reserved region).
+func (p PowerParams) ActivateEnergyJ(tRCns float64, devices int) float64 {
+	return p.pulsePJ(p.IDD0-p.IDD2N, tRCns) * float64(devices) * 1e-12
+}
+
+// BackgroundPowerW returns the standby power of the rank.
+func (p PowerParams) BackgroundPowerW(devices int) float64 {
+	return p.IDD3N * 1e-3 * p.VDD * float64(devices)
+}
+
+// ReadPowerW and WritePowerW return the average data-bus power at the given
+// duty cycle (fraction of time bursting).
+func (p PowerParams) ReadPowerW(duty float64, devices int) float64 {
+	return (p.IDD4R - p.IDD3N) * 1e-3 * p.VDD * duty * float64(devices)
+}
+
+// WritePowerW is the write-burst counterpart of ReadPowerW.
+func (p PowerParams) WritePowerW(duty float64, devices int) float64 {
+	return (p.IDD4W - p.IDD3N) * 1e-3 * p.VDD * duty * float64(devices)
+}
+
+// EBDIEnergyPerOpJ is the energy of one EBDI transform operation, measured
+// with Vivado on a Zynq xc7z020 at 1 GHz (Section VI-B).
+const EBDIEnergyPerOpJ = 15e-12
+
+// SRAMLeakageW returns the standby leakage of an SRAM array of the given
+// size, interpolating the two CACTI 6.5 data points of Section IV-B:
+// 1 MB -> 337.14 mW and 8 KB -> 2.71 mW (32 nm technology).
+func SRAMLeakageW(bytes int) float64 {
+	const (
+		x1, y1 = 8 << 10, 2.71e-3
+		x2, y2 = 1 << 20, 337.14e-3
+	)
+	slope := (y2 - y1) / float64(x2-x1)
+	w := y1 + slope*(float64(bytes)-x1)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// Reference leakage values from the paper, exposed for reporting.
+const (
+	NaiveSRAMLeakageW     = 337.14e-3 // 1 MB discharged-status table
+	AccessBitSRAMLeakageW = 2.71e-3   // 8 KB access-bit table
+	AccessBitSRAMAreaMM2  = 0.076     // CACTI area of the 8 KB array
+)
+
+// DensityTRFC maps DRAM device density (Gbit) to the all-bank tRFC (ns)
+// used by the Figure 4 refresh-power model. Values follow the published
+// DDR4 trend (tRFC grows with the rows refreshed per command).
+func DensityTRFC(gbit int) float64 {
+	switch {
+	case gbit <= 1:
+		return 110
+	case gbit <= 2:
+		return 160
+	case gbit <= 4:
+		return 260
+	case gbit <= 8:
+		return 350
+	case gbit <= 16:
+		return 550
+	default:
+		return 880
+	}
+}
+
+// RefreshPowerShare computes the Figure 4 model for one device: the
+// fraction of device power spent on refresh for the given density and
+// retention window, with read/write duty cycles as in the paper's analysis
+// (8% read, 2% write).
+func RefreshPowerShare(p PowerParams, gbit int, tRET dram.Time, readDuty, writeDuty float64) (share, refreshW, totalW float64) {
+	tREFIns := float64(tRET) / 8192
+	refreshW = (p.IDD5 - p.IDD3N) * 1e-3 * p.VDD * DensityTRFC(gbit) / tREFIns
+	background := p.IDD3N * 1e-3 * p.VDD
+	rw := p.ReadPowerW(readDuty, 1) + p.WritePowerW(writeDuty, 1)
+	totalW = refreshW + background + rw
+	return refreshW / totalW, refreshW, totalW
+}

@@ -1,0 +1,213 @@
+package memctrl
+
+import (
+	"sort"
+
+	"zerorefresh/internal/dram"
+)
+
+// Closed-loop bank-queue simulation. The open-loop simulator replays a
+// fixed arrival trace, which diverges once the offered load exceeds bank
+// capacity; real cores self-throttle because each can only sustain a
+// bounded number of outstanding LLC misses. SimulateClosedLoop models that:
+// Cores*MLP request slots each cycle through think -> queue -> service, so
+// throughput adapts to memory latency exactly as an out-of-order core's
+// retirement does. With a fixed horizon, completed requests are directly
+// proportional to achieved IPC.
+
+// ClosedLoopConfig configures the closed-loop simulation.
+type ClosedLoopConfig struct {
+	Perf PerfConfig
+	// Cores and MLP bound the outstanding misses (Cores*MLP slots).
+	Cores int
+	MLP   int
+	// ThinkNs is the per-slot gap between completing one miss and
+	// issuing the next, representing the instructions executed between
+	// the misses of one outstanding stream.
+	ThinkNs float64
+	// RowHitRate and WriteFrac shape the request mix.
+	RowHitRate float64
+	WriteFrac  float64
+	// Seed drives bank/hit draws.
+	Seed uint64
+}
+
+// ClosedLoopResult reports a closed-loop run.
+type ClosedLoopResult struct {
+	// Reads is the number of completed demand misses.
+	Reads int64
+	// Writebacks is the number of piggybacked write requests issued.
+	Writebacks int64
+	// TotalLatency sums demand-miss latencies (queue+refresh+service).
+	TotalLatency dram.Time
+	// RefreshWait is the latency portion spent waiting out refresh.
+	RefreshWait dram.Time
+	// RefreshRowMisses counts accesses forced to row-miss latency
+	// because a refresh closed the bank's open row since its last use.
+	RefreshRowMisses int64
+	Horizon          dram.Time
+}
+
+// AvgLatency returns the mean demand-miss latency in ns.
+func (r ClosedLoopResult) AvgLatency() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.TotalLatency) / float64(r.Reads)
+}
+
+// refreshWindows precomputes each bank's busy windows up to the horizon,
+// honouring the all-bank policy by merging.
+func refreshWindows(cfg PerfConfig, sched RefreshSchedule, horizon dram.Time) [][]window {
+	busy := make([][]window, cfg.Banks)
+	for b := 0; b < cfg.Banks; b++ {
+		for k := 0; ; k++ {
+			start := dram.Time(k) * cfg.ARInterval
+			if start >= horizon {
+				break
+			}
+			if d := sched.ARBusy(b, k); d > 0 {
+				busy[b] = append(busy[b], window{start, start + d})
+			}
+		}
+	}
+	if cfg.AllBank {
+		var all []window
+		for _, ws := range busy {
+			all = append(all, ws...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].start < all[j].start })
+		merged := make([]window, 0, len(all))
+		for _, w := range all {
+			if n := len(merged); n > 0 && w.start <= merged[n-1].end {
+				if w.end > merged[n-1].end {
+					merged[n-1].end = w.end
+				}
+				continue
+			}
+			merged = append(merged, w)
+		}
+		for b := range busy {
+			busy[b] = merged
+		}
+	}
+	return busy
+}
+
+type window struct{ start, end dram.Time }
+
+// splitmix for the closed-loop draws (kept local so memctrl does not
+// depend on the workload package).
+type clRand struct{ state uint64 }
+
+func (r *clRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *clRand) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// SimulateClosedLoop runs the closed-loop model until the horizon.
+func SimulateClosedLoop(cfg ClosedLoopConfig, sched RefreshSchedule, horizon dram.Time) ClosedLoopResult {
+	slots := cfg.Cores * cfg.MLP
+	if slots <= 0 {
+		return ClosedLoopResult{Horizon: horizon}
+	}
+	busy := refreshWindows(cfg.Perf, sched, horizon)
+	nextWin := make([]int, cfg.Perf.Banks)
+	bankFree := make([]dram.Time, cfg.Perf.Banks)
+	// lastServed and refWin track refresh-induced row-buffer misses: a
+	// refresh closes the open row, so the first access to a bank after
+	// any refresh window pays the miss latency even if it would have
+	// hit (Section III-A: "after refreshing, the next data access is
+	// likely to have a row buffer miss").
+	lastServed := make([]dram.Time, cfg.Perf.Banks)
+	refWin := make([]int, cfg.Perf.Banks)
+	nextIssue := make([]dram.Time, slots)
+	for i := range nextIssue {
+		// Stagger slot starts across one think period.
+		nextIssue[i] = dram.Time(float64(i) * cfg.ThinkNs / float64(slots))
+	}
+	rng := clRand{state: cfg.Seed ^ 0xc105ed100b}
+	res := ClosedLoopResult{Horizon: horizon}
+
+	for {
+		// Next slot to issue.
+		s := 0
+		for i := 1; i < slots; i++ {
+			if nextIssue[i] < nextIssue[s] {
+				s = i
+			}
+		}
+		arrive := nextIssue[s]
+		if arrive >= horizon {
+			break
+		}
+		bank := int(rng.next() % uint64(cfg.Perf.Banks))
+		rowHit := rng.float() < cfg.RowHitRate
+		start := arrive
+		if bankFree[bank] > start {
+			start = bankFree[bank]
+		}
+		ws := busy[bank]
+		i := nextWin[bank]
+		for i < len(ws) {
+			w := ws[i]
+			if w.end <= start {
+				i++
+				continue
+			}
+			// Service-time check below uses the miss latency bound,
+			// conservative for hits.
+			if w.start >= start+cfg.Perf.MissService {
+				break
+			}
+			res.RefreshWait += w.end - start
+			start = w.end
+			i++
+		}
+		nextWin[bank] = i
+		// Any refresh window that ended since the bank's last service
+		// closed its open row: the access pays a row miss. This only
+		// bites when the bank was in active use — an idle bank's row
+		// would have been closed by the controller's idle-precharge
+		// policy regardless, and that case is already priced into the
+		// average RowHitRate.
+		const openRowWindow = 500 // ns of bank inactivity before idle precharge
+		j := refWin[bank]
+		for j < len(ws) && ws[j].end <= start {
+			j++
+		}
+		if j > refWin[bank] && ws[refWin[bank]].end > lastServed[bank] &&
+			start-lastServed[bank] < openRowWindow {
+			rowHit = false
+			res.RefreshRowMisses++
+		}
+		refWin[bank] = j
+		svc := cfg.Perf.MissService
+		if rowHit {
+			svc = cfg.Perf.HitService
+		}
+		complete := start + svc
+		bankFree[bank] = complete
+		lastServed[bank] = complete
+		res.Reads++
+		res.TotalLatency += complete - arrive
+		// Piggyback a writeback with probability wf/(1-wf) (write
+		// traffic share of total); it occupies the bank but does not
+		// stall the core.
+		if wf := cfg.WriteFrac; wf > 0 && wf < 1 && rng.float() < wf/(1-wf) {
+			bankFree[bank] += cfg.Perf.HitService
+			res.Writebacks++
+		}
+		// Jitter the think time +/-25%: instruction counts between
+		// misses vary, and a deterministic gap can phase-lock with the
+		// refresh cadence and overstate (or hide) interference.
+		think := cfg.ThinkNs * (0.75 + 0.5*rng.float())
+		nextIssue[s] = complete + dram.Time(think)
+	}
+	return res
+}

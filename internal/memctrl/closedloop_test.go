@@ -1,0 +1,151 @@
+package memctrl
+
+import (
+	"testing"
+
+	"zerorefresh/internal/dram"
+)
+
+func clConfig() ClosedLoopConfig {
+	return ClosedLoopConfig{
+		Perf: PerfConfig{
+			Banks: 8, ARInterval: 3906,
+			HitService: 15, MissService: 37,
+		},
+		Cores: 4, MLP: 4, ThinkNs: 100,
+		RowHitRate: 0.5, WriteFrac: 0.3, Seed: 1,
+	}
+}
+
+func TestClosedLoopThinkBoundThroughput(t *testing.T) {
+	cfg := clConfig()
+	cfg.ThinkNs = 1000 // think-dominated: memory nearly idle
+	horizon := dram.Time(2_000_000)
+	r := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 0}, horizon)
+	// 16 slots cycling every ~(1000+~26)ns over 2ms ~= 31k requests.
+	slots := float64(cfg.Cores * cfg.MLP)
+	expected := slots * float64(horizon) / (1000 + 26)
+	if f := float64(r.Reads) / expected; f < 0.9 || f > 1.1 {
+		t.Fatalf("reads = %d, expected ~%.0f", r.Reads, expected)
+	}
+	if r.RefreshWait != 0 {
+		t.Fatal("no-refresh run accumulated refresh wait")
+	}
+}
+
+func TestClosedLoopRefreshReducesThroughput(t *testing.T) {
+	cfg := clConfig()
+	horizon := dram.Time(2_000_000)
+	free := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 0}, horizon)
+	loaded := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 880}, horizon)
+	if loaded.Reads >= free.Reads {
+		t.Fatalf("refresh did not cost throughput: %d vs %d", loaded.Reads, free.Reads)
+	}
+	if loaded.AvgLatency() <= free.AvgLatency() {
+		t.Fatal("refresh did not raise latency")
+	}
+	if loaded.RefreshWait == 0 {
+		t.Fatal("refresh wait not accounted")
+	}
+}
+
+func TestClosedLoopSkippingRecovers(t *testing.T) {
+	cfg := clConfig()
+	horizon := dram.Time(2_000_000)
+	// A schedule where every other AR is fully skipped beats the
+	// constant schedule and loses to the free one.
+	half := SliceSchedule{Busy: make([][]dram.Time, 8)}
+	for b := range half.Busy {
+		half.Busy[b] = []dram.Time{880, 0}
+	}
+	full := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 880}, horizon)
+	part := SimulateClosedLoop(cfg, half, horizon)
+	free := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 0}, horizon)
+	if !(full.Reads < part.Reads && part.Reads < free.Reads) {
+		t.Fatalf("ordering violated: %d / %d / %d", full.Reads, part.Reads, free.Reads)
+	}
+}
+
+func TestClosedLoopDeterminism(t *testing.T) {
+	cfg := clConfig()
+	a := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 350}, 500_000)
+	b := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 350}, 500_000)
+	if a != b {
+		t.Fatal("closed loop not deterministic for equal seeds")
+	}
+	cfg.Seed = 2
+	c := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 350}, 500_000)
+	if a == c {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestClosedLoopWritebacksShareBandwidth(t *testing.T) {
+	cfg := clConfig()
+	cfg.ThinkNs = 0 // memory-bound
+	horizon := dram.Time(1_000_000)
+	cfg.WriteFrac = 0
+	noWrites := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 0}, horizon)
+	cfg.WriteFrac = 0.4
+	withWrites := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 0}, horizon)
+	if withWrites.Writebacks == 0 {
+		t.Fatal("no writebacks generated")
+	}
+	if withWrites.Reads >= noWrites.Reads {
+		t.Fatal("writebacks should consume read bandwidth in a bound system")
+	}
+}
+
+func TestClosedLoopZeroSlots(t *testing.T) {
+	cfg := clConfig()
+	cfg.Cores = 0
+	r := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 0}, 1000)
+	if r.Reads != 0 {
+		t.Fatal("no slots should mean no requests")
+	}
+}
+
+func TestClosedLoopAllBankPolicyHurtsMore(t *testing.T) {
+	cfg := clConfig()
+	horizon := dram.Time(2_000_000)
+	per := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 880}, horizon)
+	cfg.Perf.AllBank = true
+	all := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 880}, horizon)
+	// With synchronized windows the two policies coincide; stagger the
+	// schedule per bank to expose the difference.
+	cfg.Perf.AllBank = false
+	stag := SliceSchedule{Busy: make([][]dram.Time, 8)}
+	for b := range stag.Busy {
+		row := make([]dram.Time, 8)
+		row[b] = 880 * 8 // same total busy, different phase per bank
+		stag.Busy[b] = row
+	}
+	perStag := SimulateClosedLoop(cfg, stag, horizon)
+	cfg.Perf.AllBank = true
+	allStag := SimulateClosedLoop(cfg, stag, horizon)
+	if allStag.Reads > perStag.Reads {
+		t.Fatalf("all-bank blocking should not beat per-bank: %d vs %d", allStag.Reads, perStag.Reads)
+	}
+	_ = per
+	_ = all
+}
+
+func TestClosedLoopRefreshClosesRows(t *testing.T) {
+	cfg := clConfig()
+	cfg.RowHitRate = 1.0 // every access would hit, absent refresh
+	horizon := dram.Time(2_000_000)
+	free := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 0}, horizon)
+	if free.RefreshRowMisses != 0 {
+		t.Fatal("row misses without refresh")
+	}
+	loaded := SimulateClosedLoop(cfg, ConstantSchedule{Busy: 350}, horizon)
+	if loaded.RefreshRowMisses == 0 {
+		t.Fatal("refresh should close open rows")
+	}
+	// The forced misses show up as extra latency beyond the pure
+	// blocking wait.
+	extra := loaded.TotalLatency - loaded.RefreshWait
+	if float64(extra)/float64(loaded.Reads) <= float64(free.TotalLatency)/float64(free.Reads) {
+		t.Fatal("refresh-induced row misses not reflected in latency")
+	}
+}

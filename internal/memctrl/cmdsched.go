@@ -1,0 +1,315 @@
+package memctrl
+
+import (
+	"sort"
+
+	"zerorefresh/internal/dram"
+)
+
+// Command-level DDR timing engine — the DRAMSim2-style substrate under the
+// evaluation. Unlike the queue models (which draw row hits from a
+// probability), this engine decomposes every request into ACT/RD/WR/PRE
+// commands against per-bank row-buffer state, enforces the inter-command
+// constraints of Table II (tRCD, tRAS, tRP, tRRD, tFAW, data-bus
+// occupancy), and executes per-bank REF commands that close the open row —
+// so row hits, conflicts and refresh interference all *emerge* from
+// addresses and timing rather than being assumed.
+
+// CmdRequest is one memory request with an explicit bank/row target.
+type CmdRequest struct {
+	Arrive dram.Time
+	Bank   int
+	Row    int
+	Write  bool
+}
+
+// CmdConfig configures the command scheduler.
+type CmdConfig struct {
+	// Timing supplies tRCD/tRAS/tRP/tRRD/tFAW/tCAS/tBurst.
+	Timing dram.Timing
+	Banks  int
+	// ARInterval is the per-bank refresh command cadence; TRFCpb the
+	// busy time of an unskipped per-bank REF. Sched scales each REF
+	// (0 = fully skipped, as ZERO-REFRESH does).
+	ARInterval dram.Time
+	TRFCpb     dram.Time
+	Sched      RefreshSchedule
+	// PauseRefresh enables refresh pausing (Nair et al., HPCA 2013,
+	// Section II-D "other related work"): a demand request arriving
+	// during a REF pauses it at the next row-segment boundary
+	// (TRFCpb/8), is served, and the REF resumes afterwards — trading
+	// a longer refresh tail for much lower demand latency.
+	PauseRefresh bool
+}
+
+// CmdStats reports a command-level run.
+type CmdStats struct {
+	Requests     int
+	RowHits      int
+	RowMisses    int // bank was precharged (no row open)
+	RowConflicts int // wrong row open: PRE + ACT needed
+	// Commands issued.
+	Activates  int64
+	Precharges int64
+	Refreshes  int64
+	// TotalLatency sums request latencies (arrival to data).
+	TotalLatency dram.Time
+	// RefreshStall is latency spent waiting for in-progress REFs.
+	RefreshStall dram.Time
+	// RefreshPauses counts REFs paused for demand requests.
+	RefreshPauses int64
+}
+
+// AvgLatency returns the mean request latency in ns.
+func (s CmdStats) AvgLatency() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Requests)
+}
+
+// bankCmdState tracks one bank's row buffer and timing obligations.
+type bankCmdState struct {
+	openRow int       // -1 when precharged
+	actAt   dram.Time // last ACT time (tRAS, tRCD anchors)
+	rwDone  dram.Time // column access + burst completion
+	preDone dram.Time // precharge completion (bank usable for ACT)
+	refEnd  dram.Time // end of the in-progress/last REF (for pausing)
+	refIdx  int       // next refresh window index
+}
+
+// CmdScheduler executes requests FR-FCFS per bank under global constraints.
+type CmdScheduler struct {
+	cfg   CmdConfig
+	banks []bankCmdState
+	// acts holds recent ACT issue times for tRRD/tFAW enforcement.
+	acts []dram.Time
+	// busFree is when the shared data bus is next available.
+	busFree dram.Time
+	stats   CmdStats
+}
+
+// NewCmdScheduler builds the engine.
+func NewCmdScheduler(cfg CmdConfig) *CmdScheduler {
+	if cfg.Banks <= 0 {
+		panic("memctrl: Banks must be positive")
+	}
+	if cfg.Sched == nil {
+		cfg.Sched = ConstantSchedule{Busy: cfg.TRFCpb}
+	}
+	s := &CmdScheduler{cfg: cfg, banks: make([]bankCmdState, cfg.Banks)}
+	for i := range s.banks {
+		s.banks[i].openRow = -1
+	}
+	return s
+}
+
+// refreshUpTo applies all refresh commands of a bank scheduled at or
+// before t: each closes the open row and occupies the bank.
+func (s *CmdScheduler) refreshUpTo(bank int, t dram.Time) {
+	b := &s.banks[bank]
+	for {
+		// The first AR comes one full tREFI after start.
+		at := dram.Time(b.refIdx+1) * s.cfg.ARInterval
+		if at > t {
+			return
+		}
+		busy := s.cfg.Sched.ARBusy(bank, b.refIdx)
+		b.refIdx++
+		if busy <= 0 {
+			continue // fully skipped command: no bank occupancy
+		}
+		// REF needs the bank precharged; it starts when prior work
+		// and its nominal slot allow, then occupies the bank.
+		start := at
+		if b.preDone > start {
+			start = b.preDone
+		}
+		if rd := b.rwDone; rd > start {
+			start = rd
+		}
+		if b.openRow != -1 {
+			// Implicit precharge before refresh.
+			pre := s.prechargeReady(b)
+			if pre > start {
+				start = pre
+			}
+			start += s.cfg.Timing.TRP
+			s.stats.Precharges++
+			b.openRow = -1
+		}
+		b.preDone = start + busy
+		b.refEnd = b.preDone
+		s.stats.Refreshes++
+	}
+}
+
+// prechargeReady returns the earliest time the bank's open row may be
+// precharged (tRAS since ACT, column traffic drained).
+func (s *CmdScheduler) prechargeReady(b *bankCmdState) dram.Time {
+	t := b.actAt + s.cfg.Timing.TRAS
+	if b.rwDone > t {
+		t = b.rwDone
+	}
+	return t
+}
+
+// earliestActivate returns the first time an ACT may issue at or after t,
+// honouring tRRD (ACT-to-ACT any bank) and tFAW (four-activate window).
+func (s *CmdScheduler) earliestActivate(t dram.Time) dram.Time {
+	if n := len(s.acts); n > 0 {
+		if last := s.acts[n-1] + s.cfg.Timing.TRRD; last > t {
+			t = last
+		}
+		if n >= 4 {
+			if faw := s.acts[n-4] + s.cfg.Timing.TFAW; faw > t {
+				t = faw
+			}
+		}
+	}
+	return t
+}
+
+func (s *CmdScheduler) recordActivate(t dram.Time) {
+	s.acts = append(s.acts, t)
+	if len(s.acts) > 8 {
+		s.acts = s.acts[len(s.acts)-8:]
+	}
+	s.stats.Activates++
+}
+
+// serve executes one request, returning the data-ready completion time.
+func (s *CmdScheduler) serve(q CmdRequest) dram.Time {
+	tm := s.cfg.Timing
+	b := &s.banks[q.Bank]
+	now := q.Arrive
+	// Refresh commands due before we start are applied first; a REF in
+	// progress stalls the request — unless refresh pausing is enabled,
+	// in which case the REF yields at the next row-segment boundary and
+	// resumes after the request, extending its own tail.
+	s.refreshUpTo(q.Bank, now)
+	if b.preDone > now && b.openRow == -1 {
+		if s.cfg.PauseRefresh && b.refEnd == b.preDone && b.preDone-now > s.cfg.TRFCpb/8 {
+			quantum := s.cfg.TRFCpb / 8
+			s.stats.RefreshStall += quantum
+			s.stats.RefreshPauses++
+			// The remainder of the REF resumes after this request;
+			// model it as the bank re-entering refresh once the
+			// request's column traffic drains (handled by pushing
+			// the REF end past the request below).
+			resume := b.preDone - now - quantum
+			now += quantum
+			b.preDone = now // bank briefly usable
+			defer func() {
+				b.preDone = b.rwDone + resume
+				b.refEnd = b.preDone
+				if b.openRow != -1 {
+					// The resumed REF closes the row again.
+					b.openRow = -1
+				}
+			}()
+		} else {
+			s.stats.RefreshStall += b.preDone - now // conservative: PRE/REF wait
+			now = b.preDone
+		}
+	}
+
+	switch {
+	case b.openRow == q.Row:
+		s.stats.RowHits++
+	case b.openRow == -1:
+		s.stats.RowMisses++
+		act := s.earliestActivate(now)
+		if b.preDone > act {
+			act = b.preDone
+		}
+		s.recordActivate(act)
+		b.actAt = act
+		b.openRow = q.Row
+		now = act + tm.TRCD
+	default:
+		s.stats.RowConflicts++
+		pre := s.prechargeReady(b)
+		if now > pre {
+			pre = now
+		}
+		s.stats.Precharges++
+		b.openRow = -1
+		b.preDone = pre + tm.TRP
+		act := s.earliestActivate(b.preDone)
+		s.recordActivate(act)
+		b.actAt = act
+		b.openRow = q.Row
+		now = act + tm.TRCD
+	}
+
+	// Column access: wait for the bank's previous column op and the
+	// shared data bus.
+	col := now
+	if b.rwDone > col {
+		col = b.rwDone
+	}
+	data := col + tm.TCAS
+	if s.busFree > data {
+		data = s.busFree
+	}
+	done := data + tm.TBurst
+	s.busFree = done
+	b.rwDone = done
+	return done
+}
+
+// Run executes the request stream (sorted internally by arrival) and
+// returns the statistics. Scheduling is FR-FCFS with a bounded reorder
+// window: requests are served in global arrival order — so the global
+// constraints (tRRD, tFAW, data bus) see commands in time order — except
+// that a younger same-bank request hitting the currently open row may
+// bypass an older row-conflict request once, exactly the first-ready
+// reordering real controllers perform.
+func (s *CmdScheduler) Run(reqs []CmdRequest) CmdStats {
+	sorted := make([]CmdRequest, len(reqs))
+	copy(sorted, reqs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Arrive < sorted[j].Arrive })
+
+	const window = 32 // FR-FCFS lookahead
+	served := make([]bool, len(sorted))
+	for i := range sorted {
+		if served[i] {
+			continue
+		}
+		q := sorted[i]
+		b := &s.banks[q.Bank]
+		if b.openRow != -1 && q.Row != b.openRow {
+			// The head request conflicts; let one already-arrived
+			// row hit go first.
+			free := b.rwDone
+			if b.preDone > free {
+				free = b.preDone
+			}
+			for j := i + 1; j < len(sorted) && j < i+window; j++ {
+				if served[j] || sorted[j].Bank != q.Bank {
+					continue
+				}
+				if sorted[j].Arrive > free {
+					break
+				}
+				if sorted[j].Row == b.openRow {
+					s.finish(sorted[j])
+					served[j] = true
+					break
+				}
+			}
+		}
+		s.finish(q)
+	}
+	return s.stats
+}
+
+func (s *CmdScheduler) finish(q CmdRequest) {
+	done := s.serve(q)
+	s.stats.Requests++
+	s.stats.TotalLatency += done - q.Arrive
+}
+
+// Stats returns the accumulated statistics.
+func (s *CmdScheduler) Stats() CmdStats { return s.stats }

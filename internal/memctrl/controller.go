@@ -1,0 +1,97 @@
+package memctrl
+
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/transform"
+)
+
+// Controller is the functional datapath between the LLC and DRAM. Every
+// evicted cacheline is value-transformed (Section V) and scattered over the
+// chips by the configured mapping before it is written; reads reverse the
+// path. Writes are reported to the refresh engine's access-bit table.
+type Controller struct {
+	mod     *dram.Module
+	eng     *refresh.Engine
+	pipe    *transform.Pipeline
+	mapping transform.ChipMapping
+	amap    AddressMap
+
+	linesRead    int64
+	linesWritten int64
+}
+
+// NewController wires the datapath together. eng may be nil for a
+// conventional system with no refresh engine to notify.
+func NewController(mod *dram.Module, eng *refresh.Engine, pipe *transform.Pipeline, mapping transform.ChipMapping) *Controller {
+	if mod.Config().Chips != transform.MappingChips {
+		panic("memctrl: chip mappings require an 8-chip rank")
+	}
+	return &Controller{
+		mod:     mod,
+		eng:     eng,
+		pipe:    pipe,
+		mapping: mapping,
+		amap:    NewAddressMap(mod.Config()),
+	}
+}
+
+// AddressMap exposes the controller's address translation.
+func (c *Controller) AddressMap() AddressMap { return c.amap }
+
+// Module returns the attached DRAM module.
+func (c *Controller) Module() *dram.Module { return c.mod }
+
+// LinesRead returns the number of cachelines read since construction.
+func (c *Controller) LinesRead() int64 { return c.linesRead }
+
+// LinesWritten returns the number of cachelines written since construction.
+func (c *Controller) LinesWritten() int64 { return c.linesWritten }
+
+// WriteLine stores a 64-byte cacheline at the line-aligned physical
+// address, transforming and rotating it on the way.
+func (c *Controller) WriteLine(addr uint64, data [64]byte, now dram.Time) error {
+	loc, err := c.amap.Locate(addr)
+	if err != nil {
+		return err
+	}
+	enc := c.pipe.Encode(transform.LineFromBytes(&data), loc.Row)
+	words := c.mapping.Scatter(enc, loc.Row)
+	for chip, w := range words {
+		c.mod.WriteWord(chip, loc.Bank, loc.Row, loc.Slot, w, now)
+	}
+	if c.eng != nil {
+		c.eng.NoteWrite(loc.Bank, loc.Row)
+	}
+	c.linesWritten++
+	return nil
+}
+
+// ReadLine fetches and inverse-transforms the cacheline at addr.
+func (c *Controller) ReadLine(addr uint64, now dram.Time) ([64]byte, error) {
+	loc, err := c.amap.Locate(addr)
+	if err != nil {
+		return [64]byte{}, err
+	}
+	var words [8]uint64
+	for chip := range words {
+		words[chip] = c.mod.ReadWord(chip, loc.Bank, loc.Row, loc.Slot, now)
+	}
+	line := c.pipe.Decode(c.mapping.Gather(words, loc.Row), loc.Row)
+	c.linesRead++
+	return line.Bytes(), nil
+}
+
+// WriteZeroRow stores zero cachelines into every slot of the rank-level row
+// containing addr, as the OS page-cleansing path would. It uses the normal
+// datapath so the zeros are encoded per cell type.
+func (c *Controller) WriteZeroRow(addr uint64, now dram.Time) error {
+	base := c.amap.RowBase(addr)
+	var zero [64]byte
+	for off := uint64(0); off < uint64(c.mod.Config().RowBytes); off += dram.LineBytes {
+		if err := c.WriteLine(base+off, zero, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}

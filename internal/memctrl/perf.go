@@ -1,0 +1,180 @@
+package memctrl
+
+import (
+	"sort"
+
+	"zerorefresh/internal/dram"
+)
+
+// The performance model measures how much refresh blocking inflates memory
+// latency. It is a discrete-event simulation of the rank's bank queues:
+// requests are served FCFS per bank, each auto-refresh occupies its bank
+// (per-bank policy) or the whole rank (all-bank policy) for a busy window,
+// and requests overlapping a busy window wait it out. ZERO-REFRESH shortens
+// busy windows in proportion to the refresh steps actually performed, which
+// is what Figure 17's IPC gains come from.
+
+// Request is one memory request arriving at the controller.
+type Request struct {
+	// Arrive is the arrival time at the controller.
+	Arrive dram.Time
+	// Bank is the target bank.
+	Bank int
+	// RowHit marks requests that hit the open row buffer.
+	RowHit bool
+	// Write marks write requests (same service time in this model, but
+	// counted separately).
+	Write bool
+}
+
+// RefreshSchedule yields the bank-busy duration of each AR command. Index k
+// is the k-th command issued to the bank since the simulation start.
+type RefreshSchedule interface {
+	// ARBusy returns how long the k-th AR of the bank occupies it. Zero
+	// means the command was fully skipped and costs nothing.
+	ARBusy(bank, k int) dram.Time
+}
+
+// ConstantSchedule models the conventional controller: every AR costs the
+// full tRFC.
+type ConstantSchedule struct{ Busy dram.Time }
+
+// ARBusy implements RefreshSchedule.
+func (s ConstantSchedule) ARBusy(int, int) dram.Time { return s.Busy }
+
+// SliceSchedule replays recorded per-AR busy times: Busy[bank][k]. Indexes
+// beyond the recorded range repeat cyclically, so one recorded retention
+// window can cover an arbitrarily long performance run.
+type SliceSchedule struct{ Busy [][]dram.Time }
+
+// ARBusy implements RefreshSchedule.
+func (s SliceSchedule) ARBusy(bank, k int) dram.Time {
+	b := s.Busy[bank]
+	if len(b) == 0 {
+		return 0
+	}
+	return b[k%len(b)]
+}
+
+// PerfConfig configures the bank-queue simulation.
+type PerfConfig struct {
+	Banks int
+	// ARInterval is the time between consecutive AR commands to one
+	// bank (tREFI for all-bank, tRET/numARs for per-bank).
+	ARInterval dram.Time
+	// AllBank blocks every bank during any bank's refresh window.
+	AllBank bool
+	// HitService and MissService are the request service times.
+	HitService  dram.Time
+	MissService dram.Time
+}
+
+// DefaultPerfConfig derives service times from the DRAM timing parameters.
+func DefaultPerfConfig(cfg dram.Config, numARs int) PerfConfig {
+	t := cfg.Timing
+	return PerfConfig{
+		Banks:       cfg.Banks,
+		ARInterval:  t.TRET / dram.Time(numARs),
+		HitService:  t.TCAS + t.TBurst,
+		MissService: t.TRP + t.TRCD + t.TCAS + t.TBurst,
+	}
+}
+
+// PerfResult summarizes one bank-queue simulation.
+type PerfResult struct {
+	Requests int
+	Reads    int
+	Writes   int
+	// TotalLatency is the sum over requests of (finish - arrive).
+	TotalLatency dram.Time
+	// RefreshWait is the portion of TotalLatency spent waiting for
+	// refresh busy windows.
+	RefreshWait dram.Time
+	// QueueWait is the portion spent behind earlier requests.
+	QueueWait dram.Time
+	// RefreshBlocked counts requests delayed by at least one refresh.
+	RefreshBlocked int
+	// BusyRefresh is the total bank-time consumed by refresh.
+	BusyRefresh dram.Time
+	// Horizon is the simulated duration.
+	Horizon dram.Time
+}
+
+// AvgLatency returns the mean request latency in nanoseconds.
+func (r PerfResult) AvgLatency() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.TotalLatency) / float64(r.Requests)
+}
+
+// SimulateBankQueues runs the request stream against the refresh schedule
+// until horizon. Requests need not be sorted.
+func SimulateBankQueues(cfg PerfConfig, reqs []Request, sched RefreshSchedule, horizon dram.Time) PerfResult {
+	sorted := make([]Request, len(reqs))
+	copy(sorted, reqs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrive < sorted[j].Arrive })
+
+	// Precompute each bank's refresh busy windows up to the horizon
+	// (shared with the closed-loop model).
+	busy := refreshWindows(cfg, sched, horizon)
+
+	res := PerfResult{Horizon: horizon}
+	for _, ws := range busy {
+		for _, w := range ws {
+			res.BusyRefresh += w.end - w.start
+		}
+	}
+	if cfg.AllBank && cfg.Banks > 0 {
+		// The union was replicated per bank; report rank-level time.
+		res.BusyRefresh /= dram.Time(cfg.Banks)
+	}
+
+	bankFree := make([]dram.Time, cfg.Banks)
+	nextWin := make([]int, cfg.Banks)
+	for _, q := range sorted {
+		if q.Arrive >= horizon {
+			break
+		}
+		svc := cfg.MissService
+		if q.RowHit {
+			svc = cfg.HitService
+		}
+		start := q.Arrive
+		if bankFree[q.Bank] > start {
+			res.QueueWait += bankFree[q.Bank] - start
+			start = bankFree[q.Bank]
+		}
+		// Push the start past any refresh window it overlaps.
+		blocked := false
+		ws := busy[q.Bank]
+		i := nextWin[q.Bank]
+		for i < len(ws) {
+			w := ws[i]
+			if w.end <= start {
+				i++
+				continue
+			}
+			if w.start >= start+svc {
+				break
+			}
+			res.RefreshWait += w.end - start
+			start = w.end
+			blocked = true
+			i++
+		}
+		nextWin[q.Bank] = i
+		if blocked {
+			res.RefreshBlocked++
+		}
+		bankFree[q.Bank] = start + svc
+		res.Requests++
+		if q.Write {
+			res.Writes++
+		} else {
+			res.Reads++
+		}
+		res.TotalLatency += start + svc - q.Arrive
+	}
+	return res
+}

@@ -1,0 +1,353 @@
+// Package refresh implements the DRAM-side charge-aware refresh reduction
+// of ZERO-REFRESH (Section IV of the paper): auto-refresh scheduling with
+// per-bank (or all-bank) granularity, staggered per-chip refresh counters,
+// discharged-row detection during refresh, a DRAM-resident discharged-status
+// table, and the coarse-grained SRAM access-bit table that avoids updating
+// the DRAM-resident table on every write.
+package refresh
+
+import (
+	"fmt"
+
+	"zerorefresh/internal/dram"
+)
+
+// Config selects the refresh engine behaviour. The zero value is a
+// conventional refresh controller (no skipping); DefaultConfig enables the
+// full ZERO-REFRESH mechanism.
+type Config struct {
+	// Skip enables charge-aware refresh skipping for discharged rows.
+	Skip bool
+	// RowsPerAR is the number of refresh steps (rank-level rows) covered
+	// by one auto-refresh command. The paper's 32 GB / 8-bank geometry
+	// refreshes 128 rows (512 KB) per per-bank AR; this is also the
+	// granularity of one access bit.
+	RowsPerAR int
+	// Stagger initializes the per-chip refresh counters to their chip
+	// number so that the rows refreshed together across chips form the
+	// diagonal groups matching the data-rotation stage (Section IV-C,
+	// Figure 8). Without staggering every chip refreshes the same row
+	// index at each step.
+	Stagger bool
+	// AllBank switches from the per-bank auto-refresh policy (the
+	// paper's base design, as in REFLEX) to the all-bank policy, where
+	// one command refreshes the step range in every bank and blocks the
+	// whole rank.
+	AllBank bool
+	// StatusInDRAM stores the discharged-status table in a reserved DRAM
+	// region (the paper's optimized design): its rows are always
+	// refreshed and every AR costs one table read or write. When false,
+	// the naive 1 MB-SRAM design is modelled instead (no DRAM overhead,
+	// but large SRAM leakage — accounted by the energy model).
+	StatusInDRAM bool
+	// PerChipStatus is a design-space alternative to the paper's
+	// rank-synchronous skipping: each chip's refresh logic skips its
+	// own row independently, tracked with one status bit per chip-row
+	// (Chips x the storage of the paper's 1-bit-per-rank-row table).
+	// It captures skips the step-granular design misses — e.g. a
+	// zero word class pinned to one chip under the unrotated mapping —
+	// at Chips times the table cost. Compare via NormalizedChipRefresh.
+	PerChipStatus bool
+}
+
+// DefaultConfig returns the paper's base engine configuration.
+func DefaultConfig() Config {
+	return Config{Skip: true, RowsPerAR: 128, Stagger: true, StatusInDRAM: true}
+}
+
+// ARResult reports what one auto-refresh command did in one bank.
+type ARResult struct {
+	// Refreshed and Skipped count refresh steps. A step refreshes one
+	// rank-level row: the same diagonal group across all chips.
+	// (A per-chip-status step counts as Refreshed if any chip worked.)
+	Refreshed int
+	Skipped   int
+	// ChipRefreshed/ChipSkipped count chip-row refreshes, the common
+	// currency across the rank-synchronous and per-chip designs.
+	ChipRefreshed int
+	ChipSkipped   int
+	// StatusRead/StatusWrite report accesses to the DRAM-resident
+	// discharged-status table.
+	StatusRead  bool
+	StatusWrite bool
+	// FullySkipped is true when every step of the command was skipped,
+	// eliminating the command's tRFC entirely.
+	FullySkipped bool
+}
+
+// Engine drives refresh for one DRAM rank.
+type Engine struct {
+	mod *dram.Module
+	cfg Config
+
+	chips       int
+	banks       int
+	rowsPerBank int
+	numARs      int // AR commands per bank per retention window
+
+	// accessBits is the SRAM access-bit table: one bit per (bank, AR
+	// set), set by any write to a row of the set since its last refresh
+	// (Section IV-B). It starts all-set so the first cycle performs a
+	// full learning refresh.
+	accessBits [][]bool
+	// status is the discharged-status table: per (bank, step), a mask
+	// with bit c set when chip c's row of the step's diagonal group was
+	// discharged (and not spared) at its last full refresh. The paper's
+	// rank-synchronous design skips a step only when the mask is full;
+	// the PerChipStatus variant skips each set bit independently.
+	// Stored in DRAM in the optimized design; kept here as the
+	// functional model either way.
+	status   [][]uint16
+	fullMask uint16
+	// arCursor is the next AR set index per bank.
+	arCursor []int
+	// lastSetRefreshed records, per (bank, set), how many steps the most
+	// recent AR of that set refreshed — the per-command busy profile the
+	// performance model replays.
+	lastSetRefreshed [][]int
+
+	stats Stats
+}
+
+// Stats accumulates engine activity across cycles.
+type Stats struct {
+	ARCommands      int64
+	StepsConsidered int64
+	StepsRefreshed  int64
+	StepsSkipped    int64
+	StatusReads     int64
+	StatusWrites    int64
+	FullySkippedARs int64
+	// TableRowRefreshes counts refreshes of the DRAM rows holding the
+	// discharged-status table itself (overhead of the optimized design).
+	TableRowRefreshes int64
+}
+
+// NewEngine builds an engine for the module. It panics on geometry/config
+// mismatches, which are programming errors.
+func NewEngine(m *dram.Module, cfg Config) *Engine {
+	dcfg := m.Config()
+	if cfg.RowsPerAR <= 0 {
+		cfg.RowsPerAR = 128
+	}
+	if cfg.RowsPerAR > dcfg.RowsPerBank {
+		cfg.RowsPerAR = dcfg.RowsPerBank
+	}
+	if dcfg.RowsPerBank%cfg.RowsPerAR != 0 {
+		panic(fmt.Sprintf("refresh: RowsPerBank (%d) not divisible by RowsPerAR (%d)",
+			dcfg.RowsPerBank, cfg.RowsPerAR))
+	}
+	e := &Engine{
+		mod:         m,
+		cfg:         cfg,
+		chips:       dcfg.Chips,
+		banks:       dcfg.Banks,
+		rowsPerBank: dcfg.RowsPerBank,
+		numARs:      dcfg.RowsPerBank / cfg.RowsPerAR,
+		arCursor:    make([]int, dcfg.Banks),
+	}
+	if dcfg.Chips > 16 {
+		panic("refresh: at most 16 chips supported by the status mask")
+	}
+	e.fullMask = uint16(1)<<dcfg.Chips - 1
+	e.accessBits = make([][]bool, e.banks)
+	e.status = make([][]uint16, e.banks)
+	e.lastSetRefreshed = make([][]int, e.banks)
+	for b := 0; b < e.banks; b++ {
+		e.accessBits[b] = make([]bool, e.numARs)
+		for i := range e.accessBits[b] {
+			e.accessBits[b][i] = true // force a learning refresh first
+		}
+		e.status[b] = make([]uint16, e.rowsPerBank)
+		e.lastSetRefreshed[b] = make([]int, e.numARs)
+		for i := range e.lastSetRefreshed[b] {
+			e.lastSetRefreshed[b][i] = cfg.RowsPerAR
+		}
+	}
+	return e
+}
+
+// SetRefreshedCounts returns, per (bank, AR set), how many refresh steps
+// the most recent command of that set actually performed. The performance
+// model converts these into per-command bank-busy times.
+func (e *Engine) SetRefreshedCounts() [][]int {
+	out := make([][]int, len(e.lastSetRefreshed))
+	for b, row := range e.lastSetRefreshed {
+		out[b] = append([]int(nil), row...)
+	}
+	return out
+}
+
+// Config returns the engine configuration (with defaults resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// NumARs returns the number of AR commands per bank per retention window.
+func (e *Engine) NumARs() int { return e.numARs }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// StepRow returns the rank-level row index chip refreshes at refresh step
+// n. With staggered counters (Figure 8) the rows form wrapped diagonals:
+// within each block of `chips` rows, chip c starts offset by its chip
+// number, so step n refreshes row block*chips + (c+n) mod chips in chip c.
+func (e *Engine) StepRow(chip, n int) int {
+	if !e.cfg.Stagger {
+		return n
+	}
+	block := n / e.chips
+	return block*e.chips + (chip+n)%e.chips
+}
+
+// stepsOfRow returns the inclusive range of steps [lo,hi] whose diagonal
+// groups include the rank-level row in any chip. With staggering, row r is
+// visited by every chip during the steps of its block.
+func (e *Engine) stepsOfRow(row int) (lo, hi int) {
+	if !e.cfg.Stagger {
+		return row, row
+	}
+	block := row / e.chips
+	return block * e.chips, block*e.chips + e.chips - 1
+}
+
+// NoteWrite records that a write touched the rank-level row of a bank.
+// The corresponding access bit(s) are set so the next AR covering the row
+// performs a full refresh and renews the discharged-status table; the
+// DRAM-resident table itself is *not* written on the store path.
+func (e *Engine) NoteWrite(bank, row int) {
+	lo, hi := e.stepsOfRow(row)
+	e.accessBits[bank][lo/e.cfg.RowsPerAR] = true
+	e.accessBits[bank][hi/e.cfg.RowsPerAR] = true
+}
+
+// refreshStep refreshes the diagonal group of step n in a bank and returns
+// the renewed status mask: bit c set iff chip c's row was discharged and
+// not backed by a spare row.
+func (e *Engine) refreshStep(bank, n int, now dram.Time) uint16 {
+	var mask uint16
+	for chip := 0; chip < e.chips; chip++ {
+		row := e.StepRow(chip, n)
+		if e.mod.Refresh(chip, bank, row, now) && !e.mod.IsSpared(row) {
+			mask |= 1 << chip
+		}
+	}
+	return mask
+}
+
+// AutoRefreshSet executes one auto-refresh command for the given AR set of
+// one bank (Section IV-B):
+//
+//   - access bit set: refresh every step normally, collecting the renewed
+//     discharged bits in the charge-state register, then write them to the
+//     status table once and clear the access bit;
+//   - access bit clear: read the status bits once and skip the steps whose
+//     rows were discharged at their last full refresh (no write occurred
+//     since, so the status is still exact).
+func (e *Engine) AutoRefreshSet(bank, set int, now dram.Time) ARResult {
+	if set < 0 || set >= e.numARs {
+		panic(fmt.Sprintf("refresh: AR set %d out of range [0,%d)", set, e.numARs))
+	}
+	var res ARResult
+	first := set * e.cfg.RowsPerAR
+	if e.accessBits[bank][set] {
+		for n := first; n < first+e.cfg.RowsPerAR; n++ {
+			e.status[bank][n] = e.refreshStep(bank, n, now)
+			res.Refreshed++
+			res.ChipRefreshed += e.chips
+		}
+		e.accessBits[bank][set] = false
+		if e.cfg.StatusInDRAM {
+			res.StatusWrite = true
+			e.stats.StatusWrites++
+		}
+	} else {
+		if e.cfg.StatusInDRAM {
+			res.StatusRead = true
+			e.stats.StatusReads++
+		}
+		for n := first; n < first+e.cfg.RowsPerAR; n++ {
+			mask := e.status[bank][n]
+			switch {
+			case e.cfg.Skip && e.cfg.PerChipStatus:
+				// Each chip's internal refresh logic consults its
+				// own status bit.
+				refreshed := 0
+				for chip := 0; chip < e.chips; chip++ {
+					if mask&(1<<chip) != 0 {
+						res.ChipSkipped++
+						continue
+					}
+					e.mod.Refresh(chip, bank, e.StepRow(chip, n), now)
+					refreshed++
+				}
+				res.ChipRefreshed += refreshed
+				if refreshed == 0 {
+					res.Skipped++
+				} else {
+					res.Refreshed++
+				}
+			case e.cfg.Skip && mask == e.fullMask:
+				// Rank-synchronous skip: the whole diagonal group.
+				res.Skipped++
+				res.ChipSkipped += e.chips
+			default:
+				// Refresh normally; the status cannot have improved
+				// without a write, so no table update is needed.
+				e.refreshStep(bank, n, now)
+				res.Refreshed++
+				res.ChipRefreshed += e.chips
+			}
+		}
+	}
+	res.FullySkipped = res.Refreshed == 0
+	e.lastSetRefreshed[bank][set] = res.Refreshed
+	e.stats.ARCommands++
+	e.stats.StepsConsidered += int64(e.cfg.RowsPerAR)
+	e.stats.StepsRefreshed += int64(res.Refreshed)
+	e.stats.StepsSkipped += int64(res.Skipped)
+	if res.FullySkipped {
+		e.stats.FullySkippedARs++
+	}
+	return res
+}
+
+// AutoRefresh executes the next pending AR command for a bank, advancing
+// the bank's AR cursor (the refresh counter of Section II-C, at command
+// granularity).
+func (e *Engine) AutoRefresh(bank int, now dram.Time) ARResult {
+	set := e.arCursor[bank]
+	e.arCursor[bank] = (set + 1) % e.numARs
+	return e.AutoRefreshSet(bank, set, now)
+}
+
+// StatusTableRows returns how many rank-level DRAM rows the
+// discharged-status table occupies in the optimized design: one bit per
+// (bank, step) — or per (bank, step, chip) under PerChipStatus — rounded
+// up to whole rows. These rows are pinned charged and refreshed every
+// cycle.
+func (e *Engine) StatusTableRows() int {
+	if !e.cfg.StatusInDRAM {
+		return 0
+	}
+	bits := e.banks * e.rowsPerBank
+	if e.cfg.PerChipStatus {
+		bits *= e.chips
+	}
+	bytes := (bits + 7) / 8
+	rowBytes := e.mod.Config().RowBytes
+	return (bytes + rowBytes - 1) / rowBytes
+}
+
+// AccessBitSRAMBytes returns the size of the SRAM access-bit table: one bit
+// per (bank, AR set), as in Section IV-B (8 KB for the 32 GB geometry).
+func (e *Engine) AccessBitSRAMBytes() int {
+	bits := e.banks * e.numARs
+	return (bits + 7) / 8
+}
+
+// NaiveStatusSRAMBytes returns the SRAM size the naive design would need:
+// one bit per rank-level row (1 MB for the 32 GB geometry, Section IV-B).
+func (e *Engine) NaiveStatusSRAMBytes() int {
+	bits := e.banks * e.rowsPerBank
+	return (bits + 7) / 8
+}

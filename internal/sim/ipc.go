@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"zerorefresh/internal/core"
+	"zerorefresh/internal/cpu"
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/energy"
+	"zerorefresh/internal/memctrl"
+	"zerorefresh/internal/workload"
+)
+
+// Figure 17 methodology. Refresh commands make banks unavailable, which
+// inflates memory latency and depresses IPC; ZERO-REFRESH shrinks each AR's
+// busy time in proportion to the steps it actually refreshes, and removes
+// fully-skipped commands entirely (their tRFC vanishes, REFLEX-style).
+//
+// The experiment runs in two phases:
+//  1. a content simulation learns the steady-state per-AR-set refreshed
+//     fractions for the benchmark (same machinery as Figure 14);
+//  2. a bank-queue simulation replays a Poisson request stream from the
+//     benchmark's MPKI against (a) the conventional constant-tRFC schedule
+//     and (b) the recorded ZERO-REFRESH schedule at the paper-scale
+//     per-bank cadence (tRET/8192), and the core model converts the two
+//     latency distributions into IPCs.
+//
+// Timing: both designs run the per-bank refresh cadence (the paper bases
+// its design on per-bank AR "as used by REFLEX", and its tiny minimum IPC
+// gain of +0.3% rules out a rank-blocking all-bank baseline); ZERO-REFRESH
+// scales each command's busy time by the steps it actually refreshes.
+// The per-bank duration uses the 32 Gb devices Table II implies (32 GB
+// rank / 8 chips; Section II-C's "32Gb DDR4 chip"): tRFCpb = tRFCab/2
+// ~ 440 ns, following the LPDDR/DDR5 per-bank ratio. The table's own
+// 28 ns tRFC entry is inconsistent with every published DDR4 part and
+// would make refresh interference invisible.
+
+// PerfTRFCns is the per-bank AR busy time used by the performance model.
+var PerfTRFCns = energy.DensityTRFC(32) / 2
+
+// IPCResult reports one benchmark's Figure 17 data point.
+type IPCResult struct {
+	Benchmark    string
+	BaselineIPC  float64
+	ZeroIPC      float64
+	Speedup      float64
+	BaselineLatN float64 // mean request latency (ns), conventional
+	ZeroLatN     float64 // mean request latency (ns), ZERO-REFRESH
+}
+
+// RunIPC measures one benchmark.
+func RunIPC(o Options, prof workload.Profile) (IPCResult, error) {
+	o = o.withDefaults()
+	res := IPCResult{Benchmark: prof.Name}
+
+	// Phase 1: steady-state refresh behaviour.
+	sys, err := core.NewSystem(o.coreConfig(true))
+	if err != nil {
+		return res, err
+	}
+	if err := fillAll(sys, prof, o.Seed); err != nil {
+		return res, err
+	}
+	sys.RunWindow() // learn
+	dcfg := sys.DRAM.Config()
+	allPages := make([]int, sys.Pages())
+	for i := range allPages {
+		allPages[i] = i
+	}
+	for w := 0; w < 2; w++ { // steady state with write traffic
+		if err := applyWindowWrites(sys, prof, allPages, o.Seed, w); err != nil {
+			return res, err
+		}
+		sys.RunWindow()
+	}
+
+	// Convert the recorded per-set refreshed counts into per-AR busy
+	// times, tiled over the paper-scale command cadence.
+	counts := sys.Engine.SetRefreshedCounts()
+	rowsPerAR := sys.Engine.Config().RowsPerAR
+	busy := make([][]dram.Time, len(counts))
+	for b, sets := range counts {
+		busy[b] = make([]dram.Time, len(sets))
+		for i, refreshed := range sets {
+			busy[b][i] = dram.Time(PerfTRFCns * float64(refreshed) / float64(rowsPerAR))
+		}
+	}
+
+	// Phase 2: closed-loop bank queues under the paper-scale refresh
+	// cadence. Each of the 4 cores sustains MLP outstanding misses; the
+	// per-slot think time is chosen so that with a perfect memory
+	// system the core retires at 1/BaseCPI, and the closed loop
+	// self-throttles under contention exactly as an OoO core does. With
+	// a fixed horizon, completed misses are proportional to IPC.
+	ccfg := cpu.DefaultCoreConfig()
+	const cores = 4
+	pcfg := memctrl.PerfConfig{
+		Banks:       dcfg.Banks,
+		ARInterval:  dcfg.Timing.TRET / 8192,
+		AllBank:     sys.Engine.Config().AllBank,
+		HitService:  dcfg.Timing.TCAS + dcfg.Timing.TBurst,
+		MissService: dcfg.Timing.TRP + dcfg.Timing.TRCD + dcfg.Timing.TCAS + dcfg.Timing.TBurst,
+	}
+	instrPerMiss := 1000 / prof.MPKI
+	clcfg := memctrl.ClosedLoopConfig{
+		Perf:       pcfg,
+		Cores:      cores,
+		MLP:        int(ccfg.MLP),
+		ThinkNs:    ccfg.MLP * instrPerMiss * prof.BaseCPI / ccfg.FreqGHz,
+		RowHitRate: prof.RowHitRate,
+		WriteFrac:  prof.WriteFrac,
+		Seed:       o.Seed,
+	}
+	horizon := dram.Time(2 * dram.Millisecond)
+	base := memctrl.SimulateClosedLoop(clcfg, memctrl.ConstantSchedule{Busy: dram.Time(PerfTRFCns)}, horizon)
+	zero := memctrl.SimulateClosedLoop(clcfg, memctrl.SliceSchedule{Busy: busy}, horizon)
+	res.BaselineLatN = base.AvgLatency()
+	res.ZeroLatN = zero.AvgLatency()
+
+	// IPC = instructions / cycles; instructions scale with completed
+	// misses at fixed MPKI, cycles with the fixed horizon.
+	cyclesPerCore := float64(horizon) * ccfg.FreqGHz
+	res.BaselineIPC = float64(base.Reads) * instrPerMiss / cyclesPerCore / cores
+	res.ZeroIPC = float64(zero.Reads) * instrPerMiss / cyclesPerCore / cores
+	if res.BaselineIPC > 0 {
+		res.Speedup = res.ZeroIPC / res.BaselineIPC
+	}
+	return res, nil
+}
+
+// fillAll fills the whole rank with application content.
+func fillAll(sys *core.System, prof workload.Profile, seed uint64) error {
+	for p := 0; p < sys.Pages(); p++ {
+		if err := sys.FillPageFromProfile(prof, p, seed, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFig17 regenerates Figure 17: IPC normalized to the conventional
+// refresh baseline. The paper reports +5.7% on average, with gemsFDTD
+// gaining the most (+10.8%) and gobmk the least (+0.3%).
+func RunFig17(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		Title:   "Figure 17: normalized IPC vs conventional refresh",
+		Columns: []string{"base IPC", "ZR IPC", "normalized"},
+		Note:    "paper: +5.7% average, max gemsFDTD +10.8%, min gobmk +0.3%",
+	}
+	rows := make([]IPCResult, len(o.Benchmarks))
+	err := forEach(len(o.Benchmarks), func(i int) error {
+		r, err := RunIPC(o, o.Benchmarks[i])
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, prof := range o.Benchmarks {
+		t.AddRow(prof.Name, rows[i].BaselineIPC, rows[i].ZeroIPC, rows[i].Speedup)
+	}
+	t.AddMeanRow()
+	return t, nil
+}

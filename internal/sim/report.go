@@ -1,0 +1,138 @@
+// Package sim wires the whole system together and drives every experiment
+// of the paper's evaluation (Section VI): one entry point per table and
+// figure, each returning a Table whose rows/series mirror what the paper
+// plots. The cmd/zrsim binary and the repository's benchmarks are thin
+// wrappers over this package.
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic experiment result: named rows of float columns.
+type Table struct {
+	// Title identifies the experiment ("Figure 14", ...).
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold the values.
+	Rows []Row
+	// Note carries methodology remarks printed under the table.
+	Note string
+}
+
+// Row is one table line.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// ColumnMean returns the mean of column i over rows (rows named "MEAN" or
+// with missing values are excluded).
+func (t *Table) ColumnMean(i int) float64 {
+	sum, n := 0.0, 0
+	for _, r := range t.Rows {
+		if r.Name == "MEAN" || i >= len(r.Values) {
+			continue
+		}
+		sum += r.Values[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AddMeanRow appends a "MEAN" row averaging every column.
+func (t *Table) AddMeanRow() {
+	if len(t.Rows) == 0 {
+		return
+	}
+	means := make([]float64, len(t.Columns))
+	for i := range means {
+		means[i] = t.ColumnMean(i)
+	}
+	t.AddRow("MEAN", means...)
+}
+
+// Find returns the row with the given name.
+func (t *Table) Find(name string) (Row, bool) {
+	for _, r := range t.Rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// String renders the table for terminal output.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	nameW := 4
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		if colW[i] < 8 {
+			colW[i] = 8
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, " %*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", nameW+2, r.Name)
+		for i, v := range r.Values {
+			w := 8
+			if i < len(colW) {
+				w = colW[i]
+			}
+			fmt.Fprintf(&b, " %*.3f", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "-- %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-style CSV for plotting pipelines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("name")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Name))
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

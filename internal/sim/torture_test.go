@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"zerorefresh/internal/core"
+	"zerorefresh/internal/ostrace"
+	"zerorefresh/internal/workload"
+)
+
+// TestTortureIntegration is the capstone integration test: a multi-rank
+// system under simultaneous pressure from (a) an OS allocator chasing a
+// datacenter utilization trace with zero-on-free, (b) four execution-driven
+// cores pushing verified content through real caches, and (c) scattered
+// window writes — across many retention windows, with the refresh engine
+// skipping as aggressively as it can. Everything must stay bit-exact.
+func TestTortureIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture run")
+	}
+	cfg := core.DefaultConfig(16 << 20)
+	cfg.Ranks = 2
+	cfg.CellGroupRows = 128 // both cell types present in each rank
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof, _ := workload.ByName("tpch-q5")
+	trace := ostrace.Google
+
+	// Four cores run different benchmarks in the low 10 MB of memory;
+	// the allocator churns the remaining 6 MB.
+	region := 10 << 20
+	driverBenches := []string{"tpch-q5", "tpch-q1", "bwaves", "gcc"}
+	drivers := make([]*core.ExecutionDriver, len(driverBenches))
+	base := uint64(0)
+	for c, name := range driverBenches {
+		bprof, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", name)
+		}
+		if base+uint64(bprof.WorkingSetBytes) > uint64(region) {
+			t.Fatalf("driver %d working set exceeds its region", c)
+		}
+		d, err := core.NewExecutionDriver(sys, bprof, uint64(c)+1, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drivers[c] = d
+		base += uint64(bprof.WorkingSetBytes+4096) &^ 4095
+	}
+
+	quarter := region / 4096
+	churnPages := sys.Pages() - quarter
+	alloc := ostrace.NewAllocator(churnPages, 1)
+	filledVersion := map[int]uint64{}
+	window := 0
+	alloc.OnAllocate = func(p int) {
+		page := quarter + p
+		v := uint64(window)
+		if err := sys.FillPageFromProfile(prof, page, 99, v); err != nil {
+			t.Fatal(err)
+		}
+		filledVersion[page] = v
+	}
+	alloc.OnFree = func(p int) {
+		page := quarter + p
+		if err := sys.CleansePage(page); err != nil {
+			t.Fatal(err)
+		}
+		delete(filledVersion, page)
+	}
+
+	var skippedTotal int64
+	for window = 0; window < 10; window++ {
+		if err := alloc.SetTargetFraction(trace.Utilization(7, window)); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range drivers {
+			if err := d.Run(60_000); err != nil {
+				t.Fatalf("window %d: %v", window, err)
+			}
+		}
+		st := sys.RunWindow()
+		skippedTotal += st.Skipped
+	}
+
+	// Invariants after the storm:
+	if sys.DecayEvents() != 0 {
+		t.Fatal("retention failure under combined pressure")
+	}
+	if skippedTotal == 0 {
+		t.Fatal("nothing was ever skipped")
+	}
+	// Allocated churn pages hold their exact content version.
+	checked := 0
+	for page, v := range filledVersion {
+		if err := sys.VerifyPage(prof, page, 99, v); err != nil {
+			t.Fatal(err)
+		}
+		checked++
+		if checked >= 50 {
+			break
+		}
+	}
+	// Free churn pages read as zeros.
+	zeros := 0
+	for p := 0; p < churnPages && zeros < 20; p++ {
+		page := quarter + p
+		if _, ok := filledVersion[page]; ok {
+			continue
+		}
+		line, err := sys.ReadPageLine(page, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != ([64]byte{}) {
+			t.Fatalf("free page %d not zero", page)
+		}
+		zeros++
+	}
+	if checked == 0 || zeros == 0 {
+		t.Fatalf("weak coverage: %d filled, %d free pages checked", checked, zeros)
+	}
+}

@@ -1,0 +1,88 @@
+package transform
+
+// Bit-plane transposition stage, Section V-C (motivated by BPC).
+//
+// After EBDI each delta word has zero high-order bits but a non-zero
+// low-order byte, so zeros are abundant *within* words but not *across* the
+// line. The bit-plane stage transposes the 7x64 bit matrix of the delta
+// words: bit b of delta word j (j = 0..6, counting from word 1 of the line)
+// moves to transposed position p = b*7 + j within the 448-bit delta region.
+// Bit-plane 0 (the LSBs of all deltas) lands at the head of the region,
+// plane 63 at the tail, so if every delta fits in k bits, only the first
+// ceil(7k/64) words of the region are non-zero and the rest are exactly
+// zero. Combined with the base word this concentrates all non-zero content
+// at the head of the line (Figure 12).
+//
+// The transpose touches no logic on the critical path in hardware — it is
+// wire routing — and is a bijection, inverted by BitPlaneInverse.
+
+const (
+	deltaWords = 7
+	deltaBits  = deltaWords * 64 // 448
+)
+
+// spreadTab[v] scatters the 8 bits of byte v to stride-7 positions:
+// bit i of v lands at bit 7*i. One lookup therefore places a whole input
+// byte into the transposed bit-plane layout (see BitPlaneTranspose).
+var spreadTab = func() [256]uint64 {
+	var t [256]uint64
+	for v := 0; v < 256; v++ {
+		var s uint64
+		for i := 0; i < 8; i++ {
+			if v&(1<<i) != 0 {
+				s |= 1 << (7 * i)
+			}
+		}
+		t[v] = s
+	}
+	return t
+}()
+
+// BitPlaneTranspose re-orders the bits of words 1..7; the base word is
+// passed through untouched.
+//
+// Implementation: bit b of delta word j goes to position p = b*7 + j, so
+// byte k of word j (bits 8k..8k+7) scatters to positions 56k+j + {0,7,...,
+// 49} — a fixed stride-7 pattern looked up per byte value and OR-ed in at
+// offset 56k+j (straddling at most two output words).
+func BitPlaneTranspose(l Line) Line {
+	out := Line{l[0]}
+	for j := 0; j < deltaWords; j++ {
+		w := l[j+1]
+		for k := 0; w != 0; k++ {
+			v := byte(w)
+			w >>= 8
+			if v == 0 {
+				continue
+			}
+			s := spreadTab[v]
+			p := uint(56*k + j)
+			out[1+p/64] |= s << (p % 64)
+			if p%64 > 64-50 {
+				out[2+p/64] |= s >> (64 - p%64)
+			}
+		}
+	}
+	return out
+}
+
+// BitPlaneInverse undoes BitPlaneTranspose.
+func BitPlaneInverse(l Line) Line {
+	out := Line{l[0]}
+	for i := 0; i < deltaWords; i++ {
+		w := l[i+1]
+		if w == 0 {
+			continue
+		}
+		for k := 0; w != 0; k++ {
+			if w&1 != 0 {
+				p := i*64 + k // transposed position
+				b := p / deltaWords
+				j := p % deltaWords
+				out[1+j] |= 1 << uint(b)
+			}
+			w >>= 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package transform
+
+import (
+	"testing"
+
+	"zerorefresh/internal/dram"
+)
+
+// Native fuzz targets for the transformation pipeline. Run with
+// `go test -fuzz FuzzPipelineRoundTrip ./internal/transform`; in normal
+// test runs they execute the seed corpus below.
+
+func lineFromWords(a, b, c, d, e, f, g, h uint64) Line { return Line{a, b, c, d, e, f, g, h} }
+
+func FuzzEBDIRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(1), uint64(1)<<63, uint64(42), ^uint64(0)-1, uint64(7), uint64(0xdead), uint64(0xbeef))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i uint64) {
+		l := lineFromWords(a, b, c, d, e, g, h, i)
+		if EBDIDecode(EBDIEncode(l)) != l {
+			t.Fatalf("EBDI round trip failed for %v", l)
+		}
+	})
+}
+
+func FuzzBitPlaneRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4), uint64(5), uint64(6), uint64(7), uint64(8))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i uint64) {
+		l := lineFromWords(a, b, c, d, e, g, h, i)
+		if BitPlaneInverse(BitPlaneTranspose(l)) != l {
+			t.Fatalf("bit-plane round trip failed for %v", l)
+		}
+	})
+}
+
+func FuzzPipelineRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(1), ^uint64(0), uint64(1)<<63, uint64(0x7f), uint64(0xff00), uint64(3), uint64(9), uint16(0), uint8(7))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i uint64, row uint16, optBits uint8) {
+		cfg := dram.DefaultConfig(8 << 20)
+		cfg.CellGroupRows = 64
+		opts := Options{EBDI: optBits&1 != 0, BitPlane: optBits&2 != 0, CellAware: optBits&4 != 0}
+		p := NewPipeline(opts, ExactTypes{Cfg: cfg})
+		r := int(row) % cfg.RowsPerBank
+		l := lineFromWords(a, b, c, d, e, g, h, i)
+		if p.Decode(p.Encode(l, r), r) != l {
+			t.Fatalf("pipeline round trip failed: opts=%+v row=%d line=%v", opts, r, l)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package transform
+
+import "zerorefresh/internal/dram"
+
+// Options selects which transformation stages are active. The zero value
+// disables everything (raw storage); DefaultOptions enables the full
+// ZERO-REFRESH pipeline. Individual stages can be switched off for the
+// ablation studies in the benchmark harness.
+type Options struct {
+	// EBDI enables the base-delta encoding stage.
+	EBDI bool
+	// BitPlane enables the bit-plane transposition stage (only
+	// meaningful together with EBDI, but honoured independently so the
+	// ablation can isolate it).
+	BitPlane bool
+	// CellAware enables the per-cell-type encoding: lines destined for
+	// anti-cell rows are stored complemented so their zero bits land on
+	// discharged cells.
+	CellAware bool
+}
+
+// DefaultOptions enables the complete pipeline of Section V.
+func DefaultOptions() Options {
+	return Options{EBDI: true, BitPlane: true, CellAware: true}
+}
+
+// Pipeline applies the value transformation between the LLC and the memory
+// controller. A Pipeline is stateless apart from its options and cell-type
+// map and is safe for concurrent use.
+type Pipeline struct {
+	opts  Options
+	types CellTypeMap
+	// OpCount counts transform operations (one per encoded or decoded
+	// line) for the energy model: the EBDI module costs 15 pJ/op
+	// (Section VI-B) and is exercised on both reads and writes.
+	ops int64
+}
+
+// NewPipeline builds a pipeline. types supplies the (possibly imperfect)
+// cell-type identification of Section II-B; pass ExactTypes for an oracle.
+func NewPipeline(opts Options, types CellTypeMap) *Pipeline {
+	if types == nil {
+		panic("transform: nil cell-type map")
+	}
+	return &Pipeline{opts: opts, types: types}
+}
+
+// Options returns the pipeline configuration.
+func (p *Pipeline) Options() Options { return p.opts }
+
+// Ops returns the number of encode/decode operations performed.
+func (p *Pipeline) Ops() int64 { return p.ops }
+
+// Encode transforms a cacheline for storage in the rank-level row rowIdx.
+func (p *Pipeline) Encode(l Line, rowIdx int) Line {
+	p.ops++
+	if p.opts.EBDI {
+		l = EBDIEncode(l)
+	}
+	if p.opts.BitPlane {
+		l = BitPlaneTranspose(l)
+	}
+	if p.opts.CellAware && p.types.TypeOf(rowIdx) == dram.AntiCell {
+		l = l.Invert()
+	}
+	return l
+}
+
+// Decode inverts Encode for a line read back from row rowIdx. Because the
+// same (predicted) cell type is used on both paths, decoding is lossless
+// even when the prediction is wrong — misprediction only costs refresh
+// reduction opportunity, never data integrity (Section V-B).
+func (p *Pipeline) Decode(l Line, rowIdx int) Line {
+	p.ops++
+	if p.opts.CellAware && p.types.TypeOf(rowIdx) == dram.AntiCell {
+		l = l.Invert()
+	}
+	if p.opts.BitPlane {
+		l = BitPlaneInverse(l)
+	}
+	if p.opts.EBDI {
+		l = EBDIDecode(l)
+	}
+	return l
+}

@@ -1,0 +1,108 @@
+package transform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRotatedMappingScatterGather(t *testing.T) {
+	m := RotatedMapping{}
+	f := func(l Line, row uint16) bool {
+		r := int(row)
+		return m.Gather(m.Scatter(l, r), r) == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotatedMappingRotatesByRow(t *testing.T) {
+	m := RotatedMapping{}
+	l := Line{0, 1, 2, 3, 4, 5, 6, 7}
+	// Row 0: word w on chip w.
+	if got := m.Scatter(l, 0); got != [8]uint64{0, 1, 2, 3, 4, 5, 6, 7} {
+		t.Fatalf("row 0 scatter = %v", got)
+	}
+	// Row 3: word w on chip (w+3)%8, i.e. chip c holds word (c-3)%8.
+	if got := m.Scatter(l, 3); got != [8]uint64{5, 6, 7, 0, 1, 2, 3, 4} {
+		t.Fatalf("row 3 scatter = %v", got)
+	}
+	// Rotation is periodic in the chip count.
+	if m.Scatter(l, 8) != m.Scatter(l, 0) {
+		t.Fatal("rotation should have period 8")
+	}
+}
+
+func TestWordClassInvariant(t *testing.T) {
+	// WordClassOf is the inverse view of ChipForWord: the chip that
+	// stores word w in row r must report class w.
+	m := RotatedMapping{}
+	for r := 0; r < 32; r++ {
+		for w := 0; w < 8; w++ {
+			chip := m.ChipForWord(w, r)
+			if got := m.WordClassOf(chip, r); got != w {
+				t.Fatalf("row %d word %d on chip %d reports class %d", r, w, chip, got)
+			}
+		}
+	}
+}
+
+func TestDirectMappingIsIdentity(t *testing.T) {
+	m := DirectMapping{}
+	l := Line{9, 8, 7, 6, 5, 4, 3, 2}
+	if m.Scatter(l, 17) != [8]uint64(l) {
+		t.Fatal("direct scatter should be the identity")
+	}
+	if m.Gather([8]uint64(l), 17) != l {
+		t.Fatal("direct gather should be the identity")
+	}
+}
+
+func TestByteScatterMappingRoundTrip(t *testing.T) {
+	m := ByteScatterMapping{}
+	f := func(l Line) bool { return m.Gather(m.Scatter(l, 0), 0) == l }
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteScatterSpreadsWordsAcrossAllChips(t *testing.T) {
+	// The motivating failure of the conventional burst mapping
+	// (Figure 13): a line whose only non-zero word is the base still
+	// deposits one non-zero byte into every chip.
+	m := ByteScatterMapping{}
+	l := Line{0x0101010101010101} // base non-zero, everything else zero
+	words := m.Scatter(l, 0)
+	for chip, w := range words {
+		if w == 0 {
+			t.Fatalf("chip %d received no charge under byte scatter", chip)
+		}
+	}
+	// The rotated mapping confines the same line to a single chip.
+	rm := RotatedMapping{}
+	rwords := rm.Scatter(l, 0)
+	nonZero := 0
+	for _, w := range rwords {
+		if w != 0 {
+			nonZero++
+		}
+	}
+	if nonZero != 1 {
+		t.Fatalf("rotated mapping charged %d chips, want 1", nonZero)
+	}
+}
+
+func TestMappingNames(t *testing.T) {
+	for _, tc := range []struct {
+		m    ChipMapping
+		want string
+	}{
+		{RotatedMapping{}, "rotated"},
+		{DirectMapping{}, "direct"},
+		{ByteScatterMapping{}, "byte-scatter"},
+	} {
+		if got := tc.m.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}

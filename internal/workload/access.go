@@ -1,0 +1,106 @@
+package workload
+
+import "zerorefresh/internal/dram"
+
+// AccessGen produces the load/store address stream of one core running the
+// profile, for driving the cache hierarchy in integration tests and
+// examples. The stream mixes sequential runs (spatial locality), revisits
+// to a hot subset (temporal locality) and random jumps across the working
+// set; the mix is tuned per profile from its row-hit rate, which is itself
+// a locality proxy.
+type AccessGen struct {
+	prof   Profile
+	rng    *SplitMix
+	base   uint64 // working-set base address
+	wsSize uint64 // working-set size in bytes
+	hot    uint64 // hot-region size in bytes
+
+	cursor    uint64 // sequential cursor
+	runLeft   int    // remaining accesses of the current sequential run
+	recent    [64]uint64
+	recentN   int
+	curOff    uint64 // line currently being worked on
+	pending   int    // remaining word-granular touches of curOff
+	generated int64
+}
+
+// Access is one memory operation.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// NewAccessGen builds a generator over [base, base+workingSet).
+func NewAccessGen(prof Profile, seed uint64, base uint64) *AccessGen {
+	ws := uint64(prof.WorkingSetBytes) &^ (dram.LineBytes - 1)
+	if ws < dram.LineBytes {
+		ws = dram.LineBytes
+	}
+	hot := ws / 8
+	if hot < dram.LineBytes {
+		hot = dram.LineBytes
+	}
+	return &AccessGen{
+		prof:   prof,
+		rng:    NewSplitMix(Hash(seed, HashString(prof.Name), 0xacce55)),
+		base:   base &^ (dram.LineBytes - 1),
+		wsSize: ws,
+		hot:    hot,
+	}
+}
+
+// Next returns the next access.
+func (g *AccessGen) Next() Access {
+	g.generated++
+	// Word-granular locality: a line, once chosen, is touched several
+	// times before the stream moves on — this is what the L1 absorbs.
+	if g.pending > 0 {
+		g.pending--
+		return g.touch(g.curOff)
+	}
+	if g.runLeft > 0 {
+		g.runLeft--
+		g.cursor = (g.cursor + dram.LineBytes) % g.wsSize
+		return g.access(g.cursor)
+	}
+	switch r := g.rng.Float64(); {
+	case r < 0.55 && g.recentN > 0:
+		// Short-term reuse: revisit one of the last touched lines
+		// (register spills, loop-carried state) — what L1 absorbs.
+		return g.touch(g.recent[g.rng.Intn(g.recentN)])
+	case r < 0.55+g.prof.RowHitRate*0.35:
+		// Start a sequential run: length scales with locality.
+		g.runLeft = 4 + g.rng.Intn(28)
+		g.cursor = uint64(g.rng.Intn(int(g.wsSize/dram.LineBytes))) * dram.LineBytes
+		return g.access(g.cursor)
+	case r < 0.95:
+		// Hot-region revisit.
+		return g.access(uint64(g.rng.Intn(int(g.hot/dram.LineBytes))) * dram.LineBytes)
+	default:
+		// Cold random access.
+		return g.access(uint64(g.rng.Intn(int(g.wsSize/dram.LineBytes))) * dram.LineBytes)
+	}
+}
+
+func (g *AccessGen) access(off uint64) Access {
+	if g.recentN < len(g.recent) {
+		g.recent[g.recentN] = off
+		g.recentN++
+	} else {
+		g.recent[g.rng.Intn(len(g.recent))] = off
+	}
+	g.curOff = off
+	g.pending = 3 + g.rng.Intn(10)
+	return g.touch(off)
+}
+
+func (g *AccessGen) touch(off uint64) Access {
+	g.curOff = off
+	return Access{
+		Addr:  g.base + off,
+		Write: g.rng.Float64() < g.prof.WriteFrac,
+	}
+}
+
+// Generated returns how many accesses have been produced.
+func (g *AccessGen) Generated() int64 { return g.generated }

@@ -1,0 +1,32 @@
+package zerorefresh
+
+import "zerorefresh/internal/ostrace"
+
+// OS-side modelling surface (Section III-B): the page allocator with
+// cleanse-at-deallocation and the datacenter utilization trace models of
+// Table I / Figure 5.
+
+type (
+	// TraceModel is a synthetic datacenter memory-utilization trace.
+	TraceModel = ostrace.TraceModel
+	// Allocator is the zero-on-free physical page allocator.
+	Allocator = ostrace.Allocator
+)
+
+// The three trace models of Table I.
+var (
+	GoogleTrace    = ostrace.Google
+	AlibabaTrace   = ostrace.Alibaba
+	BitbrainsTrace = ostrace.Bitbrains
+)
+
+// Traces returns the three models in Table I order.
+func Traces() []TraceModel { return ostrace.Traces() }
+
+// TraceByName looks a trace model up by name.
+func TraceByName(name string) (TraceModel, bool) { return ostrace.ByName(name) }
+
+// NewAllocator builds a page allocator over totalPages pages.
+func NewAllocator(totalPages int, seed uint64) *Allocator {
+	return ostrace.NewAllocator(totalPages, seed)
+}
