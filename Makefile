@@ -1,0 +1,32 @@
+# Development entry points for the zerorefresh simulator.
+#
+#   make check   - the gate every change must pass: vet, build, and the
+#                  full test suite under the race detector (benchmarks
+#                  excluded via -short; the golden-stats and concurrency
+#                  tests still run and exercise the sharded paths).
+#   make test    - the plain tier-1 suite, as CI runs it.
+#   make bench   - regenerate the paper's evaluation via the benchmark
+#                  harness (slow; minutes).
+#   make race    - just the race-sensitive packages, under -race.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/transform ./internal/core ./internal/metrics ./internal/engine
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -27,9 +27,20 @@ func benchOptions() zerorefresh.ExperimentOptions {
 	}
 }
 
+// skipIfShort gates the experiment-scale benchmarks behind -short: each
+// regenerates a full figure or ablation sweep (minutes in aggregate), which
+// `make check`'s quick pass has no need for. The micro-benchmarks of the
+// core datapath stay active in every mode.
+func skipIfShort(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment-scale benchmark; run without -short to regenerate")
+	}
+}
+
 // BenchmarkTable1Traces regenerates Table I (mean allocated memory of the
 // Google/Alibaba/Bitbrains traces; paper: 0.70 / 0.88 / 0.28).
 func BenchmarkTable1Traces(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t := zerorefresh.RunTable1(1, 20000)
 		for _, r := range t.Rows {
@@ -41,6 +52,7 @@ func BenchmarkTable1Traces(b *testing.B) {
 // BenchmarkFig4RefreshPower regenerates Figure 4 (refresh share of device
 // power vs density; paper: >50% at 16Gb with 32ms retention).
 func BenchmarkFig4RefreshPower(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t := zerorefresh.RunFig4()
 		r16, _ := t.Find("16Gb")
@@ -52,6 +64,7 @@ func BenchmarkFig4RefreshPower(b *testing.B) {
 
 // BenchmarkFig5TraceCDFs regenerates Figure 5 (utilization CDFs).
 func BenchmarkFig5TraceCDFs(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t := zerorefresh.RunFig5()
 		mid, _ := t.Find("0.50")
@@ -63,6 +76,7 @@ func BenchmarkFig5TraceCDFs(b *testing.B) {
 // BenchmarkFig6ZeroPortion regenerates Figure 6 (zero content at 1KB and
 // 1B granularity; paper suite averages 0.023 and 0.43).
 func BenchmarkFig6ZeroPortion(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t := zerorefresh.RunFig6(o)
@@ -76,6 +90,7 @@ func BenchmarkFig6ZeroPortion(b *testing.B) {
 // under the four allocation scenarios; paper means 0.629 / 0.54 / 0.43 /
 // 0.17).
 func BenchmarkFig14RefreshReduction(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunFig14(o)
@@ -93,6 +108,7 @@ func BenchmarkFig14RefreshReduction(b *testing.B) {
 // BenchmarkFig15Energy regenerates Figure 15 (normalized refresh energy,
 // overheads included; paper means 0.635 / 0.56 / 0.45 / 0.18).
 func BenchmarkFig15Energy(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunFig15(o)
@@ -108,6 +124,7 @@ func BenchmarkFig15Energy(b *testing.B) {
 // BenchmarkFig16Temperature regenerates Figure 16 (normal 64ms vs extended
 // 32ms retention at 100% allocation; paper: ~4.4% less reduction at 64ms).
 func BenchmarkFig16Temperature(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunFig16(o)
@@ -124,6 +141,7 @@ func BenchmarkFig16Temperature(b *testing.B) {
 // BenchmarkFig17IPC regenerates Figure 17 (IPC normalized to conventional
 // refresh; paper: +5.7% average, max +10.8%, min +0.3%).
 func BenchmarkFig17IPC(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunFig17(o)
@@ -142,6 +160,7 @@ func BenchmarkFig17IPC(b *testing.B) {
 // BenchmarkFig18RowSize regenerates Figure 18 (row-size sensitivity at
 // 100% allocation; paper reductions 46.3% / 37.1% / 33.9%).
 func BenchmarkFig18RowSize(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunFig18(o)
@@ -158,6 +177,7 @@ func BenchmarkFig18RowSize(b *testing.B) {
 // BenchmarkFig19Scalability regenerates Figure 19 (Smart Refresh vs
 // ZERO-REFRESH, mcf, 4-32 GB; paper: Smart 0.526 -> 0.941, ZERO ~flat).
 func BenchmarkFig19Scalability(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunFig19(o)
@@ -192,6 +212,7 @@ func ablationRun(b *testing.B, mutate func(*zerorefresh.ExperimentOptions)) floa
 // inside delta words; without cell-type awareness anti-cell rows never
 // discharge.
 func BenchmarkAblationPipeline(b *testing.B) {
+	skipIfShort(b)
 	cases := []struct {
 		name string
 		opts zerorefresh.TransformOptions
@@ -215,6 +236,7 @@ func BenchmarkAblationPipeline(b *testing.B) {
 // rotated (the design), direct (no rotation), and the conventional
 // byte-scatter burst mapping that defeats skipping entirely (Figure 13).
 func BenchmarkAblationMapping(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		rot := ablationRun(b, func(o *zerorefresh.ExperimentOptions) {})
 		b.ReportMetric(rot, "rotated_reduction")
@@ -228,6 +250,7 @@ func BenchmarkAblationMapping(b *testing.B) {
 // BenchmarkAblationStagger isolates the staggered refresh counters of
 // Section IV-C under the rank-synchronous skip design.
 func BenchmarkAblationStagger(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		on := ablationRun(b, func(o *zerorefresh.ExperimentOptions) {})
 		off := ablationRun(b, func(o *zerorefresh.ExperimentOptions) {
@@ -243,6 +266,7 @@ func BenchmarkAblationStagger(b *testing.B) {
 // never skip, Section IV-B) erodes the reduction as the spared fraction
 // grows. Real devices spare well under 1% of rows.
 func BenchmarkAblationRowSparing(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		for _, frac := range []float64{0, 0.005, 0.05} {
 			red := ablationRun(b, func(o *zerorefresh.ExperimentOptions) { o.SparedRowFraction = frac })
@@ -255,6 +279,7 @@ func BenchmarkAblationRowSparing(b *testing.B) {
 // base design) against the all-bank alternative: refresh counts match, but
 // all-bank blocks the whole rank per command, costing IPC.
 func BenchmarkAblationAllBank(b *testing.B) {
+	skipIfShort(b)
 	prof, _ := zerorefresh.BenchmarkByName("gemsFDTD")
 	for i := 0; i < b.N; i++ {
 		o := zerorefresh.ExperimentOptions{Capacity: 4 << 20, Seed: 1}
@@ -320,6 +345,7 @@ func BenchmarkRefreshWindow(b *testing.B) {
 // (Smart), retention-aware (RAIDR-style, with a mild VRT drift) and
 // value-aware (ZERO-REFRESH) skipping across capacities.
 func BenchmarkExtensionComparison(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunComparison(o)
@@ -337,6 +363,7 @@ func BenchmarkExtensionComparison(b *testing.B) {
 // the command-level DDR engine: per-request latency under conventional vs
 // ZERO-REFRESH schedules with emergent row-buffer behaviour.
 func BenchmarkExtensionCmdLevel(b *testing.B) {
+	skipIfShort(b)
 	o := benchOptions()
 	for i := 0; i < b.N; i++ {
 		t, err := zerorefresh.RunCmdLevel(o)
@@ -376,6 +403,7 @@ func BenchmarkBitPlane(b *testing.B) {
 // table, no rotation needed): the rotation+stagger design recovers nearly
 // all of the per-chip benefit at 1/8th the tracking cost.
 func BenchmarkAblationPerChipStatus(b *testing.B) {
+	skipIfShort(b)
 	run := func(perChip bool, mapping zerorefresh.ChipMapping) float64 {
 		o := zerorefresh.ExperimentOptions{Capacity: 4 << 20, Windows: 2, Seed: 1}
 		rc := zerorefresh.RefreshConfig{

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,all")
+		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,metrics,all")
 		capacity = flag.Int64("capacity", 32, "simulated rank capacity in MB")
 		windows  = flag.Int("windows", 8, "measured retention windows")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -58,7 +58,7 @@ func main() {
 	csvOut = *format == "csv"
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "compare", "cmdlevel", "power"}
+		ids = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "compare", "cmdlevel", "power", "metrics"}
 	}
 	for _, id := range ids {
 		fmt.Fprintf(os.Stderr, "zrsim: running %s...\n", id)
@@ -108,6 +108,8 @@ func run(id string, o sim.Options) error {
 		return show(sim.RunCmdLevelTable(o))
 	case "power":
 		return show(sim.RunPowerBreakdown(o))
+	case "metrics":
+		return show(sim.RunMetricsDump(o))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

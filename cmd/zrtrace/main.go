@@ -12,18 +12,20 @@ import (
 	"os"
 	"strings"
 
+	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/ostrace"
 	"zerorefresh/internal/workload"
 )
 
 func main() {
 	var (
-		trace   = flag.String("trace", "", "trace to inspect: google, alibaba, bitbrains, all")
-		samples = flag.Int("samples", 20000, "utilization samples")
-		content = flag.String("content", "", "benchmark whose content to analyse")
-		pages   = flag.Int("pages", 2000, "pages of content to generate")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		export  = flag.String("export", "", "write the utilization series as CSV to this file")
+		trace    = flag.String("trace", "", "trace to inspect: google, alibaba, bitbrains, all")
+		samples  = flag.Int("samples", 20000, "utilization samples")
+		content  = flag.String("content", "", "benchmark whose content to analyse")
+		pages    = flag.Int("pages", 2000, "pages of content to generate")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		export   = flag.String("export", "", "write the utilization series as CSV to this file")
+		asMetric = flag.Bool("metrics", false, "render -content statistics as a raw metrics snapshot")
 	)
 	flag.Parse()
 
@@ -53,6 +55,14 @@ func main() {
 			fail(fmt.Errorf("unknown benchmark %q", *content))
 		}
 		st := p.MeasureContent(*seed, *pages)
+		if *asMetric {
+			// The same "workload." namespace the simulator's unified
+			// snapshot uses, so outputs line up across tools.
+			reg := metrics.NewRegistry()
+			st.Record(reg)
+			fmt.Print(reg.Snapshot().Sorted())
+			return
+		}
 		fmt.Printf("%s content over %d pages:\n", p.Name, st.Pages)
 		fmt.Printf("  zero bytes:      %6.2f%%  (paper suite average ~43%%)\n", 100*st.ZeroByteFraction())
 		fmt.Printf("  zero 1KB blocks: %6.2f%%  (paper suite average ~2.3%%)\n", 100*st.ZeroBlockFraction())

@@ -1,6 +1,10 @@
 package baseline
 
-import "zerorefresh/internal/workload"
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/engine"
+	"zerorefresh/internal/workload"
+)
 
 // RetentionAware is a RAIDR-style comparator (Liu et al., ISCA 2012,
 // discussed in Section II-D): rows are profiled into retention-time bins,
@@ -84,6 +88,17 @@ func (r *RetentionAware) InjectVRT(fraction float64, seed uint64) int {
 		}
 	}
 	return demoted
+}
+
+// NoteWrite implements engine.WriteNotifier. A static retention profile
+// ignores accesses — that blindness is exactly the VRT hazard this
+// comparator quantifies — so the notification is a no-op.
+func (r *RetentionAware) NoteWrite(bank, row int) {}
+
+// RunPolicyCycle implements engine.RefreshPolicy (the start time is
+// irrelevant to this window-granular model).
+func (r *RetentionAware) RunPolicyCycle(dram.Time) engine.CycleResult {
+	return r.RunCycle().CycleResult()
 }
 
 // due reports whether the profiled bin schedules a refresh this window.

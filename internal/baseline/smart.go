@@ -6,7 +6,12 @@
 // Figure 19 contrasts its capacity scaling with ZERO-REFRESH's.
 package baseline
 
-import "fmt"
+import (
+	"fmt"
+
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/engine"
+)
 
 // SmartRefresh tracks per-row access recency at rank-row granularity and
 // skips refreshes for rows touched in the current window.
@@ -45,7 +50,11 @@ func (s *SmartRefresh) NoteAccess(bank, row int) {
 	}
 }
 
-// CycleStats reports one retention window of Smart Refresh.
+// NoteWrite implements engine.WriteNotifier: a write recharges the row
+// exactly like any other access.
+func (s *SmartRefresh) NoteWrite(bank, row int) { s.NoteAccess(bank, row) }
+
+// CycleStats reports one retention window of a baseline policy.
 type CycleStats struct {
 	Steps     int64
 	Refreshed int64
@@ -59,6 +68,11 @@ func (c CycleStats) NormalizedRefresh() float64 {
 		return 0
 	}
 	return float64(c.Refreshed) / float64(c.Steps)
+}
+
+// CycleResult converts to the policy-agnostic engine currency.
+func (c CycleStats) CycleResult() engine.CycleResult {
+	return engine.CycleResult{Steps: c.Steps, Refreshed: c.Refreshed, Skipped: c.Skipped}
 }
 
 // RunCycle closes the current retention window: rows touched during it
@@ -81,6 +95,12 @@ func (s *SmartRefresh) RunCycle() CycleStats {
 	s.refreshed += st.Refreshed
 	s.skipped += st.Skipped
 	return st
+}
+
+// RunPolicyCycle implements engine.RefreshPolicy (the start time is
+// irrelevant to this window-granular model).
+func (s *SmartRefresh) RunPolicyCycle(dram.Time) engine.CycleResult {
+	return s.RunCycle().CycleResult()
 }
 
 // Totals returns cumulative refreshed/skipped counts.

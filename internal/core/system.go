@@ -12,7 +12,9 @@ import (
 	"fmt"
 
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/engine"
 	"zerorefresh/internal/memctrl"
+	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/refresh"
 	"zerorefresh/internal/transform"
 	"zerorefresh/internal/workload"
@@ -90,15 +92,26 @@ func DefaultConfig(capacity int64) Config {
 
 // RankUnit is one rank's hardware: module, refresh engine and controller
 // datapath. The value-transformation pipeline is CPU-side and shared.
+// Backend and Policy are the narrow engine-interface views of DRAM and
+// Engine; sharded execution and policy-swapping experiments go through
+// them rather than the concrete types.
 type RankUnit struct {
 	DRAM       *dram.Module
 	Engine     *refresh.Engine
 	Controller *memctrl.Controller
+
+	Backend engine.MemoryBackend
+	Policy  engine.RefreshPolicy
 }
 
 // System is one fully wired simulated machine. The DRAM, Engine and
 // Controller fields alias rank 0 for the (default) single-rank
 // configuration; multi-rank systems expose all ranks via Ranks.
+//
+// Each rank is an independent shard: it owns its module, refresh engine
+// and controller, and publishes its counters into the system's metrics
+// registry under a rank label. RunWindow executes the ranks' retention
+// windows concurrently and folds their statistics deterministically.
 type System struct {
 	Config     Config
 	DRAM       *dram.Module
@@ -111,6 +124,11 @@ type System struct {
 	// Clock is the current simulation time; RunWindow advances it by
 	// one retention window.
 	Clock dram.Time
+
+	// metrics is the system-wide registry: per-rank child registries
+	// under "rankN/" plus the shared CPU-side pipeline under "cpu/".
+	metrics *metrics.Registry
+	windows *metrics.Counter
 }
 
 // NewSystem builds and wires a system.
@@ -157,7 +175,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	pipe := transform.NewPipeline(cfg.Transform, types)
 
-	sys := &System{Config: cfg, Pipeline: pipe}
+	reg := metrics.NewRegistry()
+	sys := &System{Config: cfg, Pipeline: pipe, metrics: reg, windows: reg.Counter("core.windows")}
+	reg.Attach("cpu", pipe.Metrics())
 	for rank := 0; rank < cfg.Ranks; rank++ {
 		mod := dram.New(dcfg)
 		if cfg.SparedRowFraction > 0 {
@@ -170,13 +190,29 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		eng := refresh.NewEngine(mod, cfg.Refresh)
 		ctrl := memctrl.NewController(mod, eng, pipe, cfg.Mapping)
-		sys.Ranks = append(sys.Ranks, RankUnit{DRAM: mod, Engine: eng, Controller: ctrl})
+		sys.Ranks = append(sys.Ranks, RankUnit{
+			DRAM: mod, Engine: eng, Controller: ctrl,
+			Backend: mod, Policy: eng,
+		})
+		label := fmt.Sprintf("rank%d", rank)
+		reg.Attach(label, mod.Metrics())
+		reg.Attach(label, eng.Metrics())
+		reg.Attach(label, ctrl.Metrics())
 	}
 	sys.DRAM = sys.Ranks[0].DRAM
 	sys.Engine = sys.Ranks[0].Engine
 	sys.Controller = sys.Ranks[0].Controller
 	return sys, nil
 }
+
+// Metrics returns the system-wide metrics registry: every rank's DRAM,
+// refresh-engine and controller counters under "rankN/", and the shared
+// pipeline under "cpu/".
+func (s *System) Metrics() *metrics.Registry { return s.metrics }
+
+// MetricsSnapshot captures every counter of every layer at this instant.
+// It is safe to call while RunWindow executes rank shards concurrently.
+func (s *System) MetricsSnapshot() metrics.Snapshot { return s.metrics.Snapshot() }
 
 // rankOf routes a global byte address: ranks are interleaved at rank-
 // capacity granularity (rank = addr / perRankCapacity).
@@ -243,13 +279,49 @@ func (s *System) CleansePage(page int) error {
 
 // RunWindow executes one full retention window of refresh activity on
 // every rank and advances the clock to its end.
+//
+// Ranks are independent shards — each engine touches only its own module —
+// so their windows run concurrently on up to GOMAXPROCS workers. The
+// per-rank results are collected into a rank-indexed slice and folded in
+// rank order, so the merged statistics are bit-identical to sequential
+// execution regardless of scheduling (the golden-stats test asserts
+// this). A panic in a rank shard is recovered by engine.ForEach and
+// re-raised here with the rank index attached.
 func (s *System) RunWindow() refresh.CycleStats {
+	if len(s.Ranks) == 1 {
+		return s.RunWindowSequential()
+	}
+	perRank := make([]refresh.CycleStats, len(s.Ranks))
+	if err := engine.ForEach(len(s.Ranks), func(i int) error {
+		perRank[i] = s.Ranks[i].Engine.RunCycle(s.Clock)
+		return nil
+	}); err != nil {
+		panic(err) // only a *engine.PanicError from a rank shard can land here
+	}
+	return s.mergeWindow(perRank)
+}
+
+// RunWindowSequential is the reference implementation of RunWindow: every
+// rank's window executed in rank order on the calling goroutine. The
+// golden-stats test checks RunWindow against it bit for bit.
+func (s *System) RunWindowSequential() refresh.CycleStats {
+	perRank := make([]refresh.CycleStats, len(s.Ranks))
+	for i := range s.Ranks {
+		perRank[i] = s.Ranks[i].Engine.RunCycle(s.Clock)
+	}
+	return s.mergeWindow(perRank)
+}
+
+// mergeWindow deterministically folds per-rank window statistics in rank
+// order and advances the clock.
+func (s *System) mergeWindow(perRank []refresh.CycleStats) refresh.CycleStats {
 	var total refresh.CycleStats
 	total.Start = s.Clock
-	for _, u := range s.Ranks {
-		total.Add(u.Engine.RunCycle(s.Clock))
+	for _, st := range perRank {
+		total.Add(st)
 	}
 	s.Clock = total.End
+	s.windows.Inc()
 	return total
 }
 

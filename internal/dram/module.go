@@ -2,10 +2,13 @@ package dram
 
 import (
 	"fmt"
+
+	"zerorefresh/internal/metrics"
 )
 
 // Stats counts the operations a Module has performed. All counters are
-// cumulative since construction.
+// cumulative since construction. It is a point-in-time snapshot of the
+// module's metrics registry (see Module.Metrics).
 type Stats struct {
 	// Activations counts row activations caused by reads and writes
 	// (one per chip-row touched).
@@ -37,7 +40,15 @@ type Module struct {
 	// fault tolerance; refresh skipping must be disabled for them
 	// (Section IV-B).
 	spared map[int]bool
-	stats  Stats
+
+	// Operation counters live in a metrics registry so a sharded system
+	// can snapshot every rank's activity concurrently and uniformly.
+	reg         *metrics.Registry
+	activations *metrics.Counter
+	refreshes   *metrics.Counter
+	wordReads   *metrics.Counter
+	wordWrites  *metrics.Counter
+	decayEvents *metrics.Counter
 }
 
 // New constructs a Module. It panics if the configuration is invalid, as a
@@ -46,10 +57,17 @@ func New(cfg Config) *Module {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	reg := metrics.NewRegistry()
 	m := &Module{
-		cfg:    cfg,
-		banks:  make([][]*row, cfg.Chips*cfg.Banks),
-		spared: make(map[int]bool),
+		cfg:         cfg,
+		banks:       make([][]*row, cfg.Chips*cfg.Banks),
+		spared:      make(map[int]bool),
+		reg:         reg,
+		activations: reg.Counter("dram.activations"),
+		refreshes:   reg.Counter("dram.refreshes"),
+		wordReads:   reg.Counter("dram.word_reads"),
+		wordWrites:  reg.Counter("dram.word_writes"),
+		decayEvents: reg.Counter("dram.decay_events"),
 	}
 	for i := range m.banks {
 		m.banks[i] = make([]*row, cfg.RowsPerBank)
@@ -60,8 +78,20 @@ func New(cfg Config) *Module {
 // Config returns the module geometry.
 func (m *Module) Config() Config { return m.cfg }
 
+// Metrics returns the module's metrics registry, for attachment into a
+// system-wide registry.
+func (m *Module) Metrics() *metrics.Registry { return m.reg }
+
 // Stats returns a snapshot of the operation counters.
-func (m *Module) Stats() Stats { return m.stats }
+func (m *Module) Stats() Stats {
+	return Stats{
+		Activations: m.activations.Load(),
+		Refreshes:   m.refreshes.Load(),
+		WordReads:   m.wordReads.Load(),
+		WordWrites:  m.wordWrites.Load(),
+		DecayEvents: m.decayEvents.Load(),
+	}
+}
 
 // MarkSpared records that the given rank-level row index is backed by a
 // spare row. Spared rows never report themselves as discharged so the
@@ -108,7 +138,7 @@ func (m *Module) activate(chip, bank, rowIdx int, now Time) *row {
 	}
 	m.expire(r, now)
 	r.lastRecharge = now
-	m.stats.Activations++
+	m.activations.Inc()
 	return r
 }
 
@@ -116,7 +146,7 @@ func (m *Module) activate(chip, bank, rowIdx int, now Time) *row {
 func (m *Module) expire(r *row, now Time) {
 	if r.chargedWords > 0 && now-r.lastRecharge > m.cfg.Timing.TRET {
 		r.decay()
-		m.stats.DecayEvents++
+		m.decayEvents.Inc()
 	}
 }
 
@@ -129,7 +159,7 @@ func (m *Module) WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now Time) 
 	}
 	r := m.activate(chip, bank, rowIdx, now)
 	r.writeWord(wordIdx, v, m.cfg.WordsPerChipRow(), m.cfg.CellTypeOf(rowIdx))
-	m.stats.WordWrites++
+	m.wordWrites.Inc()
 }
 
 // ReadWord returns the logical 64-bit value of word slot wordIdx of the
@@ -141,7 +171,7 @@ func (m *Module) ReadWord(chip, bank, rowIdx, wordIdx int, now Time) uint64 {
 		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.cfg.WordsPerChipRow()))
 	}
 	r := m.activate(chip, bank, rowIdx, now)
-	m.stats.WordReads++
+	m.wordReads.Inc()
 	return r.readWord(wordIdx, m.cfg.CellTypeOf(rowIdx))
 }
 
@@ -156,12 +186,12 @@ func (m *Module) Refresh(chip, bank, rowIdx int, now Time) (discharged bool) {
 	if r == nil {
 		// Never-touched row: fully discharged; the refresh is still
 		// performed by the hardware when commanded.
-		m.stats.Refreshes++
+		m.refreshes.Inc()
 		return true
 	}
 	m.expire(r, now)
 	r.lastRecharge = now
-	m.stats.Refreshes++
+	m.refreshes.Inc()
 	return r.discharged()
 }
 

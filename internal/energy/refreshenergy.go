@@ -2,6 +2,7 @@ package energy
 
 import (
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/refresh"
 )
 
@@ -66,6 +67,17 @@ func (m Model) CycleJ(cycle refresh.CycleStats, ebdiOps int64) float64 {
 	e += float64(ebdiOps) * EBDIEnergyPerOpJ
 	e += SRAMLeakageW(m.SRAMBytes) * float64(cycle.End-cycle.Start) * 1e-9
 	return e
+}
+
+// Record publishes the energy accounting of the given window into a
+// metrics registry under "energy." gauges, so the energy breakdown appears
+// in the same snapshot as the hardware counters it was derived from.
+func (m Model) Record(reg *metrics.Registry, cycle refresh.CycleStats, ebdiOps int64) {
+	reg.Gauge("energy.cycle_j").Set(m.CycleJ(cycle, ebdiOps))
+	reg.Gauge("energy.baseline_j").Set(m.BaselineCycleJ(cycle.Steps))
+	reg.Gauge("energy.normalized").Set(m.NormalizedEnergy(cycle, ebdiOps))
+	reg.Gauge("energy.ebdi_j").Set(float64(ebdiOps) * EBDIEnergyPerOpJ)
+	reg.Gauge("energy.sram_leak_w").Set(SRAMLeakageW(m.SRAMBytes))
 }
 
 // NormalizedEnergy returns CycleJ / BaselineCycleJ — the metric of

@@ -1,0 +1,99 @@
+// Package engine defines the narrow interfaces between the simulator's
+// layers, so the assembled system (internal/core) and the experiment
+// drivers (internal/sim) depend on behaviour rather than on the concrete
+// dram / refresh / baseline / transform types. This is what lets refresh
+// policies be swapped uniformly (charge-aware vs Smart Refresh vs
+// RAIDR-style), codecs be ablated down to a raw passthrough, and per-rank
+// shards execute concurrently behind one stable contract.
+package engine
+
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/transform"
+)
+
+// MemoryBackend is the row-granular hardware contract a refresh engine and
+// a memory-controller datapath need from a DRAM rank: word reads and
+// writes (which activate, and therefore recharge, the row), explicit
+// refresh with discharged-row sensing, and the row-sparing predicate that
+// gates skip eligibility. *dram.Module is the canonical implementation.
+type MemoryBackend interface {
+	// Config returns the rank geometry.
+	Config() dram.Config
+	// ReadWord returns word slot wordIdx of the chip-row, applying the
+	// retention model as the hardware would.
+	ReadWord(chip, bank, rowIdx, wordIdx int, now dram.Time) uint64
+	// WriteWord stores v into word slot wordIdx of the chip-row; the
+	// activation recharges the whole row.
+	WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now dram.Time)
+	// Refresh recharges one chip-row and reports whether it was fully
+	// discharged.
+	Refresh(chip, bank, rowIdx int, now dram.Time) (discharged bool)
+	// IsSpared reports whether the rank-level row is remapped by row
+	// sparing (spared rows must never skip refresh).
+	IsSpared(rowIdx int) bool
+}
+
+// WriteNotifier receives write notifications from the controller datapath.
+// It is the store-path sliver of RefreshPolicy, split out so the
+// controller does not need a full policy (and so a policy that ignores
+// accesses, like a static retention profile, can embed a no-op).
+type WriteNotifier interface {
+	// NoteWrite records that a write touched the rank-level row of a
+	// bank since the policy's last visit to it.
+	NoteWrite(bank, row int)
+}
+
+// CycleResult is the policy-agnostic summary of one retention window of
+// refresh activity: how many row-refresh steps the policy considered and
+// how it partitioned them. It is the common currency the comparison
+// experiments use across refresh-policy families.
+type CycleResult struct {
+	// Steps is the number of refresh steps considered (Banks*RowsPerBank
+	// for a full window).
+	Steps int64
+	// Refreshed and Skipped partition Steps. Refreshed includes any
+	// policy bookkeeping refreshes (e.g. status-table rows), so
+	// Refreshed/Steps is directly the normalized-refresh metric.
+	Refreshed int64
+	Skipped   int64
+	// Start and End bound the window in simulation time; policies
+	// without a timing model may leave them zero.
+	Start, End dram.Time
+}
+
+// NormalizedRefresh returns refresh work relative to the conventional
+// refresh-everything baseline.
+func (c CycleResult) NormalizedRefresh() float64 {
+	if c.Steps == 0 {
+		return 0
+	}
+	return float64(c.Refreshed) / float64(c.Steps)
+}
+
+// RefreshPolicy is one refresh-skipping scheme driven window by window:
+// it learns from write notifications and executes one full retention
+// window per RunPolicyCycle call. Implemented by the charge-aware engine
+// (internal/refresh), Smart Refresh and the RAIDR-style retention-aware
+// policy (internal/baseline).
+type RefreshPolicy interface {
+	WriteNotifier
+	// RunPolicyCycle executes one retention window starting at start and
+	// summarizes the refresh work performed.
+	RunPolicyCycle(start dram.Time) CycleResult
+}
+
+// LineCodec transforms cachelines between their CPU and in-DRAM
+// representations. Encode and Decode must be inverses for every rowIdx.
+// Implemented by transform.Pipeline (the ZERO-REFRESH value
+// transformation) and transform.Raw (the identity passthrough used by
+// conventional baselines and ablations).
+type LineCodec interface {
+	// Encode transforms a cacheline for storage in rank-level row rowIdx.
+	Encode(l transform.Line, rowIdx int) transform.Line
+	// Decode inverts Encode for a line read back from row rowIdx.
+	Decode(l transform.Line, rowIdx int) transform.Line
+	// Ops returns the number of transform operations performed, the
+	// quantity the energy model charges per-op cost to.
+	Ops() int64
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// PanicError is the error ForEach returns when a worker function panics:
+// the panic is recovered in the worker, annotated with the item index it
+// was processing, and propagated as an ordinary error so a parallel sweep
+// fails cleanly instead of tearing down the process with a stack from an
+// anonymous goroutine.
+type PanicError struct {
+	// Index is the item the panicking call was processing.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic processing item %d: %v", e.Index, e.Value)
+}
+
+// ForEach runs fn(i) for i in [0,n) on up to GOMAXPROCS workers and
+// returns the first error. Items are handed out dynamically, so callers
+// must not rely on any execution order: write results into index i of a
+// preallocated slice and fold them after ForEach returns — that reduction
+// is where determinism is re-established.
+//
+// A panicking fn is recovered and converted into a *PanicError carrying
+// the item index; remaining items are abandoned like any other first
+// error.
+func ForEach(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := call(fn, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := call(fn, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// call invokes fn(i), converting a panic into a *PanicError.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: stack()}
+		}
+	}()
+	return fn(i)
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

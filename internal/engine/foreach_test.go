@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryItem(t *testing.T) {
+	const n = 100
+	var seen [n]atomic.Int32
+	if err := ForEach(n, func(i int) error {
+		seen[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("item %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	want := errors.New("boom")
+	err := ForEach(64, func(i int) error {
+		if i == 7 {
+			return fmt.Errorf("item: %w", want)
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestForEachRecoversPanicWithIndex(t *testing.T) {
+	err := ForEach(32, func(i int) error {
+		if i == 13 {
+			panic("unlucky")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 13 {
+		t.Fatalf("panic index = %d, want 13", pe.Index)
+	}
+	if pe.Value != "unlucky" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic stack missing")
+	}
+	if !strings.Contains(err.Error(), "item 13") {
+		t.Fatalf("error text %q does not name the item", err)
+	}
+}
+
+func TestForEachPanicSequentialPath(t *testing.T) {
+	// n=1 exercises the worker<=1 fast path, which must recover too.
+	err := ForEach(1, func(int) error { panic(42) })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 0 || pe.Value != 42 {
+		t.Fatalf("sequential path: err = %v", err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

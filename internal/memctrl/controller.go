@@ -2,51 +2,66 @@ package memctrl
 
 import (
 	"zerorefresh/internal/dram"
-	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/engine"
+	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/transform"
 )
 
 // Controller is the functional datapath between the LLC and DRAM. Every
 // evicted cacheline is value-transformed (Section V) and scattered over the
 // chips by the configured mapping before it is written; reads reverse the
-// path. Writes are reported to the refresh engine's access-bit table.
+// path. Writes are reported to the refresh policy's access-bit table.
+//
+// The controller is wired entirely through the narrow engine interfaces:
+// any row-granular backend, any line codec (the full ZERO-REFRESH pipeline
+// or the transform.Raw passthrough) and any write-notified refresh policy
+// compose without the controller knowing their concrete types.
 type Controller struct {
-	mod     *dram.Module
-	eng     *refresh.Engine
-	pipe    *transform.Pipeline
+	mod     engine.MemoryBackend
+	eng     engine.WriteNotifier
+	pipe    engine.LineCodec
 	mapping transform.ChipMapping
 	amap    AddressMap
 
-	linesRead    int64
-	linesWritten int64
+	reg          *metrics.Registry
+	linesRead    *metrics.Counter
+	linesWritten *metrics.Counter
 }
 
 // NewController wires the datapath together. eng may be nil for a
-// conventional system with no refresh engine to notify.
-func NewController(mod *dram.Module, eng *refresh.Engine, pipe *transform.Pipeline, mapping transform.ChipMapping) *Controller {
+// conventional system with no refresh policy to notify.
+func NewController(mod engine.MemoryBackend, eng engine.WriteNotifier, pipe engine.LineCodec, mapping transform.ChipMapping) *Controller {
 	if mod.Config().Chips != transform.MappingChips {
 		panic("memctrl: chip mappings require an 8-chip rank")
 	}
+	reg := metrics.NewRegistry()
 	return &Controller{
-		mod:     mod,
-		eng:     eng,
-		pipe:    pipe,
-		mapping: mapping,
-		amap:    NewAddressMap(mod.Config()),
+		mod:          mod,
+		eng:          eng,
+		pipe:         pipe,
+		mapping:      mapping,
+		amap:         NewAddressMap(mod.Config()),
+		reg:          reg,
+		linesRead:    reg.Counter("ctrl.lines_read"),
+		linesWritten: reg.Counter("ctrl.lines_written"),
 	}
 }
 
 // AddressMap exposes the controller's address translation.
 func (c *Controller) AddressMap() AddressMap { return c.amap }
 
-// Module returns the attached DRAM module.
-func (c *Controller) Module() *dram.Module { return c.mod }
+// Module returns the attached memory backend.
+func (c *Controller) Module() engine.MemoryBackend { return c.mod }
+
+// Metrics returns the controller's metrics registry, for attachment into
+// a system-wide registry.
+func (c *Controller) Metrics() *metrics.Registry { return c.reg }
 
 // LinesRead returns the number of cachelines read since construction.
-func (c *Controller) LinesRead() int64 { return c.linesRead }
+func (c *Controller) LinesRead() int64 { return c.linesRead.Load() }
 
 // LinesWritten returns the number of cachelines written since construction.
-func (c *Controller) LinesWritten() int64 { return c.linesWritten }
+func (c *Controller) LinesWritten() int64 { return c.linesWritten.Load() }
 
 // WriteLine stores a 64-byte cacheline at the line-aligned physical
 // address, transforming and rotating it on the way.
@@ -63,7 +78,7 @@ func (c *Controller) WriteLine(addr uint64, data [64]byte, now dram.Time) error 
 	if c.eng != nil {
 		c.eng.NoteWrite(loc.Bank, loc.Row)
 	}
-	c.linesWritten++
+	c.linesWritten.Inc()
 	return nil
 }
 
@@ -78,7 +93,7 @@ func (c *Controller) ReadLine(addr uint64, now dram.Time) ([64]byte, error) {
 		words[chip] = c.mod.ReadWord(chip, loc.Bank, loc.Row, loc.Slot, now)
 	}
 	line := c.pipe.Decode(c.mapping.Gather(words, loc.Row), loc.Row)
-	c.linesRead++
+	c.linesRead.Inc()
 	return line.Bytes(), nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
 )
 
 // The performance model measures how much refresh blocking inflates memory
@@ -106,6 +107,21 @@ func (r PerfResult) AvgLatency() float64 {
 		return 0
 	}
 	return float64(r.TotalLatency) / float64(r.Requests)
+}
+
+// Record publishes the bank-queue simulation result into a metrics
+// registry under "perf." names: request counts as counters, latency
+// decompositions as gauges (nanoseconds).
+func (r PerfResult) Record(reg *metrics.Registry) {
+	reg.Counter("perf.requests").Add(int64(r.Requests))
+	reg.Counter("perf.reads").Add(int64(r.Reads))
+	reg.Counter("perf.writes").Add(int64(r.Writes))
+	reg.Counter("perf.refresh_blocked").Add(int64(r.RefreshBlocked))
+	reg.Gauge("perf.avg_latency_ns").Set(r.AvgLatency())
+	reg.Gauge("perf.refresh_wait_ns").Set(float64(r.RefreshWait))
+	reg.Gauge("perf.queue_wait_ns").Set(float64(r.QueueWait))
+	reg.Gauge("perf.busy_refresh_ns").Set(float64(r.BusyRefresh))
+	reg.Gauge("perf.horizon_ns").Set(float64(r.Horizon))
 }
 
 // SimulateBankQueues runs the request stream against the refresh schedule

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
 )
 
 func perfConfig() PerfConfig {
@@ -143,5 +144,28 @@ func TestDefaultPerfConfig(t *testing.T) {
 	}
 	if pc.MissService <= pc.HitService {
 		t.Fatal("miss service must exceed hit service")
+	}
+}
+
+func TestPerfResultRecord(t *testing.T) {
+	cfg := perfConfig()
+	reqs := []Request{{Arrive: 100, Bank: 0}, {Arrive: 200, Bank: 1, Write: true}}
+	res := SimulateBankQueues(cfg, reqs, ConstantSchedule{Busy: 50}, 100000)
+	reg := metrics.NewRegistry()
+	res.Record(reg)
+	snap := reg.Snapshot()
+	if got := snap.Counter("perf.requests"); got != int64(res.Requests) {
+		t.Fatalf("perf.requests = %d, want %d", got, res.Requests)
+	}
+	if got := snap.Counter("perf.writes"); got != int64(res.Writes) {
+		t.Fatalf("perf.writes = %d, want %d", got, res.Writes)
+	}
+	lat, ok := snap.Get("perf.avg_latency_ns")
+	if !ok || lat.Float != res.AvgLatency() {
+		t.Fatalf("perf.avg_latency_ns = %v, want %v", lat.Float, res.AvgLatency())
+	}
+	hor, _ := snap.Get("perf.horizon_ns")
+	if hor.Float != float64(res.Horizon) {
+		t.Fatalf("perf.horizon_ns = %v, want %v", hor.Float, res.Horizon)
 	}
 }

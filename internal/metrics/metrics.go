@@ -1,0 +1,303 @@
+// Package metrics is the unified statistics substrate of the simulator: a
+// registry of atomically updated counters and gauges that every layer
+// (dram, refresh, memctrl, transform, workload, energy) publishes into, so
+// that one coherent snapshot of the whole system can be taken at any time —
+// including while per-rank shards are mutating their counters concurrently.
+//
+// Registries compose: a parent registry Attaches child registries under a
+// label prefix (core.System attaches one child per rank), and Snapshot
+// walks the whole tree. Snapshots are plain values; Delta subtracts two of
+// them, which is how the experiment drivers measure a window of activity
+// without resetting live counters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically named int64 metric, safe for concurrent use.
+// The zero value is a valid counter at zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric with last-write-wins semantics, safe for
+// concurrent use. The zero value is a valid gauge at zero.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Kind distinguishes sample types in a snapshot.
+type Kind uint8
+
+const (
+	// KindCounter marks an integer counter sample.
+	KindCounter Kind = iota
+	// KindGauge marks a float gauge sample.
+	KindGauge
+)
+
+// Sample is one named value in a Snapshot.
+type Sample struct {
+	Name  string
+	Kind  Kind
+	Int   int64   // counter value (KindCounter)
+	Float float64 // gauge value (KindGauge)
+}
+
+// Value returns the sample as a float64 regardless of kind.
+func (s Sample) Value() float64 {
+	if s.Kind == KindCounter {
+		return float64(s.Int)
+	}
+	return s.Float
+}
+
+// Registry is a named collection of counters and gauges plus attached child
+// registries. Metric creation is idempotent (Counter/Gauge return the
+// existing metric for a known name) and safe for concurrent use; updates to
+// the returned metrics are lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	order    []string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	children []child
+}
+
+type child struct {
+	prefix string
+	reg    *Registry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. It panics if the name is already a gauge.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge", name))
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// It panics if the name is already a counter.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter", name))
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Attach mounts a child registry under a label prefix: its samples appear
+// in snapshots as "<prefix>/<name>". Attaching the same registry under
+// several parents is allowed (it is read-only from the parent's side).
+func (r *Registry) Attach(prefix string, c *Registry) {
+	if c == nil {
+		panic("metrics: nil child registry")
+	}
+	if c == r {
+		panic("metrics: cannot attach a registry to itself")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.children = append(r.children, child{prefix: prefix, reg: c})
+}
+
+// Snapshot captures every sample of the registry and its children. The
+// capture is cheap (one atomic load per metric) and safe while writers are
+// concurrently updating; samples appear in registration order, children in
+// attachment order after the registry's own samples.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	r.appendTo(&snap, "")
+	return snap
+}
+
+func (r *Registry) appendTo(snap *Snapshot, prefix string) {
+	r.mu.RLock()
+	order := append([]string(nil), r.order...)
+	children := append([]child(nil), r.children...)
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.RUnlock()
+
+	for _, name := range order {
+		if c, ok := counters[name]; ok {
+			snap.Samples = append(snap.Samples, Sample{Name: prefix + name, Kind: KindCounter, Int: c.Load()})
+			continue
+		}
+		snap.Samples = append(snap.Samples, Sample{Name: prefix + name, Kind: KindGauge, Float: gauges[name].Load()})
+	}
+	for _, ch := range children {
+		ch.reg.appendTo(snap, prefix+ch.prefix+"/")
+	}
+}
+
+// Snapshot is an ordered capture of registry samples at one instant.
+type Snapshot struct {
+	Samples []Sample
+}
+
+// Get returns the sample with the given (fully prefixed) name.
+func (s Snapshot) Get(name string) (Sample, bool) {
+	for _, smp := range s.Samples {
+		if smp.Name == name {
+			return smp, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Counter returns the int64 value of a counter sample (zero if absent).
+func (s Snapshot) Counter(name string) int64 {
+	smp, _ := s.Get(name)
+	return smp.Int
+}
+
+// Delta returns s - prev per sample: counters subtract, gauges keep the
+// value from s. Samples missing from prev are treated as starting at zero.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	old := make(map[string]Sample, len(prev.Samples))
+	for _, smp := range prev.Samples {
+		old[smp.Name] = smp
+	}
+	out := Snapshot{Samples: make([]Sample, 0, len(s.Samples))}
+	for _, smp := range s.Samples {
+		d := smp
+		if p, ok := old[smp.Name]; ok && smp.Kind == KindCounter {
+			d.Int -= p.Int
+		}
+		out.Samples = append(out.Samples, d)
+	}
+	return out
+}
+
+// Equal reports whether two snapshots carry identical samples in identical
+// order — the bit-identity check the sharding golden test relies on.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s.Samples) != len(o.Samples) {
+		return false
+	}
+	for i, a := range s.Samples {
+		b := o.Samples[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.Int != b.Int ||
+			math.Float64bits(a.Float) != math.Float64bits(b.Float) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns a snapshot summing counters (and last-writing gauges) of
+// the inputs sample-by-sample after stripping the given per-input prefixes.
+// It is the deterministic reduction used to fold per-rank snapshots into
+// rank-aggregate totals: the result is independent of the order in which
+// the shards executed, because addition commutes and every shard owns
+// disjoint metrics until the names are unified here.
+func Merge(snaps []Snapshot, stripPrefixes []string) Snapshot {
+	sum := make(map[string]Sample)
+	var order []string
+	for i, snap := range snaps {
+		for _, smp := range snap.Samples {
+			name := smp.Name
+			if i < len(stripPrefixes) && stripPrefixes[i] != "" {
+				name = strings.TrimPrefix(name, stripPrefixes[i])
+			}
+			if prev, ok := sum[name]; ok {
+				if smp.Kind == KindCounter {
+					prev.Int += smp.Int
+				} else {
+					prev.Float = smp.Float
+				}
+				sum[name] = prev
+				continue
+			}
+			smp.Name = name
+			sum[name] = smp
+			order = append(order, name)
+		}
+	}
+	out := Snapshot{Samples: make([]Sample, 0, len(order))}
+	for _, name := range order {
+		out.Samples = append(out.Samples, sum[name])
+	}
+	return out
+}
+
+// String renders the snapshot as an aligned two-column table, one metric
+// per line, suitable for terminal output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	w := 0
+	for _, smp := range s.Samples {
+		if len(smp.Name) > w {
+			w = len(smp.Name)
+		}
+	}
+	for _, smp := range s.Samples {
+		if smp.Kind == KindCounter {
+			fmt.Fprintf(&b, "%-*s %d\n", w+2, smp.Name, smp.Int)
+		} else {
+			fmt.Fprintf(&b, "%-*s %.6g\n", w+2, smp.Name, smp.Float)
+		}
+	}
+	return b.String()
+}
+
+// Sorted returns a copy of the snapshot with samples in name order; useful
+// when rendering snapshots whose registration order is not meaningful.
+func (s Snapshot) Sorted() Snapshot {
+	out := Snapshot{Samples: append([]Sample(nil), s.Samples...)}
+	sort.Slice(out.Samples, func(i, j int) bool { return out.Samples[i].Name < out.Samples[j].Name })
+	return out
+}

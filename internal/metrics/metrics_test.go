@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryIdempotentAndKindChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("Counter not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gauge on a counter name should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads")
+	g := r.Gauge("norm")
+	c.Add(5)
+	g.Set(0.5)
+	s1 := r.Snapshot()
+	c.Add(7)
+	g.Set(0.25)
+	s2 := r.Snapshot()
+	d := s2.Delta(s1)
+	if d.Counter("reads") != 7 {
+		t.Fatalf("delta reads = %d, want 7", d.Counter("reads"))
+	}
+	smp, ok := d.Get("norm")
+	if !ok || smp.Float != 0.25 {
+		t.Fatalf("delta gauge = %+v, want current value 0.25", smp)
+	}
+}
+
+func TestAttachPrefixesChildren(t *testing.T) {
+	parent := NewRegistry()
+	child0 := NewRegistry()
+	child1 := NewRegistry()
+	child0.Counter("dram.refreshes").Add(3)
+	child1.Counter("dram.refreshes").Add(4)
+	parent.Counter("windows").Inc()
+	parent.Attach("rank0", child0)
+	parent.Attach("rank1", child1)
+
+	s := parent.Snapshot()
+	if s.Counter("windows") != 1 {
+		t.Fatalf("own sample missing: %v", s)
+	}
+	if s.Counter("rank0/dram.refreshes") != 3 || s.Counter("rank1/dram.refreshes") != 4 {
+		t.Fatalf("child samples wrong: %s", s)
+	}
+	if len(s.Samples) != 3 {
+		t.Fatalf("want 3 samples, got %d", len(s.Samples))
+	}
+}
+
+func TestSnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			c.Inc()
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = r.Snapshot()
+	}
+	<-done
+	if c.Load() != 5000 {
+		t.Fatalf("lost updates: %d", c.Load())
+	}
+}
+
+func TestMergeFoldsShards(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("refreshes").Add(10)
+	b.Counter("refreshes").Add(32)
+	m := Merge([]Snapshot{a.Snapshot(), b.Snapshot()}, nil)
+	if m.Counter("refreshes") != 42 {
+		t.Fatalf("merge = %d, want 42", m.Counter("refreshes"))
+	}
+
+	parent := NewRegistry()
+	parent.Attach("rank0", a)
+	s := parent.Snapshot()
+	m2 := Merge([]Snapshot{s}, []string{"rank0/"})
+	if m2.Counter("refreshes") != 10 {
+		t.Fatalf("strip-prefix merge = %d, want 10", m2.Counter("refreshes"))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if !s1.Equal(s2) {
+		t.Fatal("identical snapshots not equal")
+	}
+	r.Counter("a").Inc()
+	if s1.Equal(r.Snapshot()) {
+		t.Fatal("differing snapshots reported equal")
+	}
+}

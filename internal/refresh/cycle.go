@@ -1,6 +1,9 @@
 package refresh
 
-import "zerorefresh/internal/dram"
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/engine"
+)
 
 // CycleStats summarizes one full retention window of refresh activity
 // (every row of every bank visited once).
@@ -108,7 +111,27 @@ func (e *Engine) RunCycle(start dram.Time) CycleStats {
 	// The status-table rows refresh unconditionally every cycle; they
 	// are accounted separately so Refreshed+Skipped == Steps holds.
 	stats.TableRows = int64(e.StatusTableRows())
-	e.stats.TableRowRefreshes += stats.TableRows
+	e.tableRowRefreshes.Add(stats.TableRows)
 	stats.End = start + e.mod.Config().Timing.TRET
 	return stats
+}
+
+// CycleResult converts the charge-aware cycle summary to the
+// policy-agnostic currency of engine.CycleResult. The status-table rows
+// count as refresh work (they are rows the design must refresh every
+// cycle), so NormalizedRefresh agrees between the two representations.
+func (c CycleStats) CycleResult() engine.CycleResult {
+	return engine.CycleResult{
+		Steps:     c.Steps,
+		Refreshed: c.Refreshed + c.TableRows,
+		Skipped:   c.Skipped,
+		Start:     c.Start,
+		End:       c.End,
+	}
+}
+
+// RunPolicyCycle implements engine.RefreshPolicy: one full retention
+// window through the charge-aware engine.
+func (e *Engine) RunPolicyCycle(start dram.Time) engine.CycleResult {
+	return e.RunCycle(start).CycleResult()
 }

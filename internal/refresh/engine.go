@@ -10,6 +10,8 @@ import (
 	"fmt"
 
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/engine"
+	"zerorefresh/internal/metrics"
 )
 
 // Config selects the refresh engine behaviour. The zero value is a
@@ -75,9 +77,12 @@ type ARResult struct {
 	FullySkipped bool
 }
 
-// Engine drives refresh for one DRAM rank.
+// Engine drives refresh for one DRAM rank, addressed through the narrow
+// engine.MemoryBackend contract so any row-granular backend (a concrete
+// dram.Module, an instrumented wrapper, a future remote shard) can sit
+// behind it.
 type Engine struct {
-	mod *dram.Module
+	mod engine.MemoryBackend
 	cfg Config
 
 	chips       int
@@ -106,10 +111,21 @@ type Engine struct {
 	// performance model replays.
 	lastSetRefreshed [][]int
 
-	stats Stats
+	// Activity counters live in a metrics registry so a sharded system
+	// can snapshot every rank's engine concurrently and uniformly.
+	reg               *metrics.Registry
+	arCommands        *metrics.Counter
+	stepsConsidered   *metrics.Counter
+	stepsRefreshed    *metrics.Counter
+	stepsSkipped      *metrics.Counter
+	statusReads       *metrics.Counter
+	statusWrites      *metrics.Counter
+	fullySkippedARs   *metrics.Counter
+	tableRowRefreshes *metrics.Counter
 }
 
-// Stats accumulates engine activity across cycles.
+// Stats accumulates engine activity across cycles. It is a point-in-time
+// snapshot of the engine's metrics registry (see Engine.Metrics).
 type Stats struct {
 	ARCommands      int64
 	StepsConsidered int64
@@ -123,9 +139,9 @@ type Stats struct {
 	TableRowRefreshes int64
 }
 
-// NewEngine builds an engine for the module. It panics on geometry/config
+// NewEngine builds an engine for the backend. It panics on geometry/config
 // mismatches, which are programming errors.
-func NewEngine(m *dram.Module, cfg Config) *Engine {
+func NewEngine(m engine.MemoryBackend, cfg Config) *Engine {
 	dcfg := m.Config()
 	if cfg.RowsPerAR <= 0 {
 		cfg.RowsPerAR = 128
@@ -137,6 +153,7 @@ func NewEngine(m *dram.Module, cfg Config) *Engine {
 		panic(fmt.Sprintf("refresh: RowsPerBank (%d) not divisible by RowsPerAR (%d)",
 			dcfg.RowsPerBank, cfg.RowsPerAR))
 	}
+	reg := metrics.NewRegistry()
 	e := &Engine{
 		mod:         m,
 		cfg:         cfg,
@@ -145,6 +162,16 @@ func NewEngine(m *dram.Module, cfg Config) *Engine {
 		rowsPerBank: dcfg.RowsPerBank,
 		numARs:      dcfg.RowsPerBank / cfg.RowsPerAR,
 		arCursor:    make([]int, dcfg.Banks),
+
+		reg:               reg,
+		arCommands:        reg.Counter("refresh.ar_commands"),
+		stepsConsidered:   reg.Counter("refresh.steps_considered"),
+		stepsRefreshed:    reg.Counter("refresh.steps_refreshed"),
+		stepsSkipped:      reg.Counter("refresh.steps_skipped"),
+		statusReads:       reg.Counter("refresh.status_reads"),
+		statusWrites:      reg.Counter("refresh.status_writes"),
+		fullySkippedARs:   reg.Counter("refresh.fully_skipped_ars"),
+		tableRowRefreshes: reg.Counter("refresh.table_row_refreshes"),
 	}
 	if dcfg.Chips > 16 {
 		panic("refresh: at most 16 chips supported by the status mask")
@@ -184,8 +211,23 @@ func (e *Engine) Config() Config { return e.cfg }
 // NumARs returns the number of AR commands per bank per retention window.
 func (e *Engine) NumARs() int { return e.numARs }
 
+// Metrics returns the engine's metrics registry, for attachment into a
+// system-wide registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
 // Stats returns a snapshot of the counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	return Stats{
+		ARCommands:        e.arCommands.Load(),
+		StepsConsidered:   e.stepsConsidered.Load(),
+		StepsRefreshed:    e.stepsRefreshed.Load(),
+		StepsSkipped:      e.stepsSkipped.Load(),
+		StatusReads:       e.statusReads.Load(),
+		StatusWrites:      e.statusWrites.Load(),
+		FullySkippedARs:   e.fullySkippedARs.Load(),
+		TableRowRefreshes: e.tableRowRefreshes.Load(),
+	}
+}
 
 // StepRow returns the rank-level row index chip refreshes at refresh step
 // n. With staggered counters (Figure 8) the rows form wrapped diagonals:
@@ -258,12 +300,12 @@ func (e *Engine) AutoRefreshSet(bank, set int, now dram.Time) ARResult {
 		e.accessBits[bank][set] = false
 		if e.cfg.StatusInDRAM {
 			res.StatusWrite = true
-			e.stats.StatusWrites++
+			e.statusWrites.Inc()
 		}
 	} else {
 		if e.cfg.StatusInDRAM {
 			res.StatusRead = true
-			e.stats.StatusReads++
+			e.statusReads.Inc()
 		}
 		for n := first; n < first+e.cfg.RowsPerAR; n++ {
 			mask := e.status[bank][n]
@@ -301,12 +343,12 @@ func (e *Engine) AutoRefreshSet(bank, set int, now dram.Time) ARResult {
 	}
 	res.FullySkipped = res.Refreshed == 0
 	e.lastSetRefreshed[bank][set] = res.Refreshed
-	e.stats.ARCommands++
-	e.stats.StepsConsidered += int64(e.cfg.RowsPerAR)
-	e.stats.StepsRefreshed += int64(res.Refreshed)
-	e.stats.StepsSkipped += int64(res.Skipped)
+	e.arCommands.Inc()
+	e.stepsConsidered.Add(int64(e.cfg.RowsPerAR))
+	e.stepsRefreshed.Add(int64(res.Refreshed))
+	e.stepsSkipped.Add(int64(res.Skipped))
 	if res.FullySkipped {
-		e.stats.FullySkippedARs++
+		e.fullySkippedARs.Inc()
 	}
 	return res
 }

@@ -5,8 +5,29 @@ import (
 
 	"zerorefresh/internal/baseline"
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/engine"
 	"zerorefresh/internal/workload"
 )
+
+// drivePolicy runs any refresh policy through the uniform engine contract:
+// `windows` retention windows, each preceded by the note callback feeding
+// write notifications (nil for policies driven without traffic), returning
+// the mean normalized refresh. Policy families that used to require their
+// own driver loops — access-aware, retention-aware, charge-aware — all run
+// through this one function now that they share engine.RefreshPolicy.
+func drivePolicy(p engine.RefreshPolicy, windows int, note func(w int, n engine.WriteNotifier)) float64 {
+	var norm float64
+	var clock dram.Time
+	for w := 0; w < windows; w++ {
+		if note != nil {
+			note(w, p)
+		}
+		res := p.RunPolicyCycle(clock)
+		norm += res.NormalizedRefresh()
+		clock = res.End
+	}
+	return norm / float64(windows)
+}
 
 // RunComparison is an extension experiment beyond the paper's Figure 19:
 // it scales capacity with mcf content against *three* refresh-skipping
@@ -33,30 +54,25 @@ func RunComparison(o Options) (*Table, error) {
 		rowsPerBank := int(cap / 8 / int64(oo.RowBytes))
 		totalRows := 8 * rowsPerBank
 
-		// Access-aware: skip rows touched inside the window.
-		smart := baseline.NewSmartRefresh(8, rowsPerBank)
+		// Access-aware: skip rows touched inside the window. The touch
+		// stream models mcf's per-window footprint.
 		touched := prof.TouchedRowsPerWindow(oo.RowBytes, dram.TRETExtended)
-		var smartNorm float64
-		for w := 0; w < oo.Windows; w++ {
-			for _, r := range workload.PickRows(oo.Seed, w, totalRows, touched) {
-				smart.NoteAccess(r%8, r/8)
-			}
-			smartNorm += smart.RunCycle().NormalizedRefresh()
-		}
-		smartNorm /= float64(oo.Windows)
+		smartNorm := drivePolicy(baseline.NewSmartRefresh(8, rowsPerBank), oo.Windows,
+			func(w int, n engine.WriteNotifier) {
+				for _, r := range workload.PickRows(oo.Seed, w, totalRows, touched) {
+					n.NoteWrite(r%8, r/8)
+				}
+			})
 
 		// Retention-aware: static profile, multi-rate refresh, with a
-		// mild VRT drift injected after profiling.
+		// mild VRT drift injected after profiling. The profile ignores
+		// traffic (that blindness is the hazard under test), so no notes.
 		raidr := baseline.NewRetentionAware(8, rowsPerBank, oo.Seed)
 		raidr.InjectVRT(0.002, oo.Seed+1)
 		// The multi-rate schedule has period 4 windows; average over
 		// whole periods so phase effects cancel.
 		raidrWindows := ((oo.Windows+3)/4 + 1) * 4
-		var raidrNorm float64
-		for w := 0; w < raidrWindows; w++ {
-			raidrNorm += raidr.RunCycle().NormalizedRefresh()
-		}
-		raidrNorm /= float64(raidrWindows)
+		raidrNorm := drivePolicy(raidr, raidrWindows, nil)
 		unsafePerK := float64(raidr.UnsafeSkips()) / float64(raidrWindows) / float64(totalRows) * 1000
 		totalUnsafe += raidr.UnsafeSkips()
 

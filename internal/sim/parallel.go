@@ -1,58 +1,19 @@
 package sim
 
-import (
-	"runtime"
-	"sync"
-)
+import "zerorefresh/internal/engine"
 
 // forEach runs fn(i) for i in [0,n) on up to GOMAXPROCS workers and
 // returns the first error. Every experiment unit (one benchmark under one
 // configuration) is an independent, deterministically seeded simulation,
 // so parallel execution is bit-identical to sequential — results are
 // written into index i of preallocated slices, never shared.
+//
+// It delegates to engine.ForEach, the one worker pool the repository uses
+// for both experiment fan-out and rank sharding. A panic inside fn does
+// not kill the process: it is recovered in the worker and surfaces as a
+// *engine.PanicError carrying the item index and stack, so a crash in one
+// benchmark run names the unit that caused it instead of taking down the
+// whole sweep.
 func forEach(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return engine.ForEach(n, fn)
 }

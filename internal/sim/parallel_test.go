@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"zerorefresh/internal/engine"
+)
+
+// TestForEachPanicPropagation is the regression test for the crash mode
+// this wrapper exists to prevent: a panic inside one experiment unit used
+// to escape an anonymous worker goroutine and abort the entire process.
+// Now it must come back as an ordinary error identifying the unit.
+func TestForEachPanicPropagation(t *testing.T) {
+	var visited atomic.Int64
+	err := forEach(64, func(i int) error {
+		visited.Add(1)
+		if i == 41 {
+			panic("benchmark blew up")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("forEach swallowed a worker panic")
+	}
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *engine.PanicError", err)
+	}
+	if pe.Index != 41 {
+		t.Fatalf("PanicError.Index = %d, want 41", pe.Index)
+	}
+	if pe.Value != "benchmark blew up" {
+		t.Fatalf("PanicError.Value = %v, want the panic value", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if !strings.Contains(err.Error(), "item 41") {
+		t.Fatalf("error message %q does not name the item", err)
+	}
+	if n := visited.Load(); n == 0 || n > 64 {
+		t.Fatalf("visited %d items, want between 1 and 64", n)
+	}
+}
+
+// TestForEachFirstError checks that a plain error still short-circuits and
+// wins over later items.
+func TestForEachFirstError(t *testing.T) {
+	sentinel := errors.New("unit failed")
+	err := forEach(16, func(i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("forEach returned %v, want the unit's error", err)
+	}
+}

@@ -8,6 +8,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"zerorefresh/internal/metrics"
 )
 
 // Table is a generic experiment result: named rows of float columns.
@@ -101,7 +103,13 @@ func (t *Table) String() string {
 			if i < len(colW) {
 				w = colW[i]
 			}
-			fmt.Fprintf(&b, " %*.3f", w, v)
+			if v != 0 && v > -0.001 && v < 0.001 {
+				// Sub-milli magnitudes (per-op energies, leakage watts)
+				// would round to 0.000; show them in scientific form.
+				fmt.Fprintf(&b, " %*.3g", w, v)
+			} else {
+				fmt.Fprintf(&b, " %*.3f", w, v)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -109,6 +117,21 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "-- %s\n", t.Note)
 	}
 	return b.String()
+}
+
+// MetricsTable renders a metrics snapshot as a Table: one row per sample,
+// in name order, with the value in a single column. Counters render
+// exactly (they are int64 and the experiment scales keep them well inside
+// float64's 2^53 integer range); gauges render as-is. This is what lets
+// every layer's statistics — DRAM, refresh engine, controller, transform
+// pipeline, workload content, energy — appear in the same report format as
+// the paper's figures.
+func MetricsTable(title string, snap metrics.Snapshot) *Table {
+	t := &Table{Title: title, Columns: []string{"value"}}
+	for _, smp := range snap.Sorted().Samples {
+		t.AddRow(smp.Name, smp.Value())
+	}
+	return t
 }
 
 // CSV renders the table as RFC-4180-style CSV for plotting pipelines.

@@ -5,6 +5,7 @@ import (
 
 	"zerorefresh/internal/core"
 	"zerorefresh/internal/energy"
+	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/ostrace"
 	"zerorefresh/internal/refresh"
 	"zerorefresh/internal/transform"
@@ -108,6 +109,10 @@ type ScenarioResult struct {
 	EBDIOps int64
 	// Decays must be zero: ZERO-REFRESH never sacrifices integrity.
 	Decays int64
+	// Metrics is the unified end-of-run snapshot of every layer: per-rank
+	// DRAM/refresh/controller counters, the shared transform pipeline,
+	// and the derived energy gauges. Render it with MetricsTable.
+	Metrics metrics.Snapshot
 }
 
 // RunScenario runs one benchmark under one memory-allocation fraction
@@ -178,11 +183,38 @@ func runScenario(o Options, prof workload.Profile, allocFrac float64, extended b
 	res.NormRefresh = res.Cycles.NormalizedRefresh()
 	res.Reduction = 1 - res.NormRefresh
 	res.NormEnergy = model.NormalizedEnergy(res.Cycles, res.EBDIOps)
+	ereg := metrics.NewRegistry()
+	model.Record(ereg, res.Cycles, res.EBDIOps)
+	sys.Metrics().Attach("energy", ereg)
+	res.Metrics = sys.MetricsSnapshot()
 	res.Decays = sys.DecayEvents()
 	if res.Decays != 0 {
 		return res, fmt.Errorf("sim: %d retention failures under %s", res.Decays, prof.Name)
 	}
 	return res, nil
+}
+
+// RunMetricsDump runs one fully-allocated scenario (the first configured
+// benchmark) and renders the unified end-of-run metrics snapshot: every
+// counter of every rank's DRAM, refresh engine and controller, the shared
+// transform pipeline, and the derived energy gauges, in one table.
+func RunMetricsDump(o Options) (*Table, error) {
+	o = o.withDefaults()
+	prof := o.Benchmarks[0]
+	r, err := RunScenario(o, prof, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	// Fold in the benchmark's content statistics so every stats family —
+	// hardware counters, transform ops, energy, workload content — lands
+	// in the one table.
+	wreg := metrics.NewRegistry()
+	prof.MeasureContent(o.Seed, 64).Record(wreg)
+	snap := metrics.Merge([]metrics.Snapshot{r.Metrics, wreg.Snapshot()}, nil)
+	t := MetricsTable(fmt.Sprintf("Unified layer metrics (%s, 100%% alloc)", prof.Name), snap)
+	t.Note = fmt.Sprintf("norm refresh %.3f, norm energy %.3f over %d windows",
+		r.NormRefresh, r.NormEnergy, o.Windows)
+	return t, nil
 }
 
 // applyWindowWrites models one retention window of application stores:

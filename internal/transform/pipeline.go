@@ -1,6 +1,9 @@
 package transform
 
-import "zerorefresh/internal/dram"
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
+)
 
 // Options selects which transformation stages are active. The zero value
 // disables everything (raw storage); DefaultOptions enables the full
@@ -30,10 +33,14 @@ func DefaultOptions() Options {
 type Pipeline struct {
 	opts  Options
 	types CellTypeMap
-	// OpCount counts transform operations (one per encoded or decoded
-	// line) for the energy model: the EBDI module costs 15 pJ/op
-	// (Section VI-B) and is exercised on both reads and writes.
-	ops int64
+	// ops counts transform operations (one per encoded or decoded line)
+	// for the energy model: the EBDI module costs 15 pJ/op (Section
+	// VI-B) and is exercised on both reads and writes. It is an atomic
+	// metrics counter: with per-rank shards encoding concurrently
+	// through the one shared CPU-side pipeline, a plain increment would
+	// race (and lose energy accounting).
+	reg *metrics.Registry
+	ops *metrics.Counter
 }
 
 // NewPipeline builds a pipeline. types supplies the (possibly imperfect)
@@ -42,18 +49,23 @@ func NewPipeline(opts Options, types CellTypeMap) *Pipeline {
 	if types == nil {
 		panic("transform: nil cell-type map")
 	}
-	return &Pipeline{opts: opts, types: types}
+	reg := metrics.NewRegistry()
+	return &Pipeline{opts: opts, types: types, reg: reg, ops: reg.Counter("transform.ops")}
 }
 
 // Options returns the pipeline configuration.
 func (p *Pipeline) Options() Options { return p.opts }
 
+// Metrics returns the pipeline's metrics registry, for attachment into a
+// system-wide registry.
+func (p *Pipeline) Metrics() *metrics.Registry { return p.reg }
+
 // Ops returns the number of encode/decode operations performed.
-func (p *Pipeline) Ops() int64 { return p.ops }
+func (p *Pipeline) Ops() int64 { return p.ops.Load() }
 
 // Encode transforms a cacheline for storage in the rank-level row rowIdx.
 func (p *Pipeline) Encode(l Line, rowIdx int) Line {
-	p.ops++
+	p.ops.Inc()
 	if p.opts.EBDI {
 		l = EBDIEncode(l)
 	}
@@ -71,7 +83,7 @@ func (p *Pipeline) Encode(l Line, rowIdx int) Line {
 // even when the prediction is wrong — misprediction only costs refresh
 // reduction opportunity, never data integrity (Section V-B).
 func (p *Pipeline) Decode(l Line, rowIdx int) Line {
-	p.ops++
+	p.ops.Inc()
 	if p.opts.CellAware && p.types.TypeOf(rowIdx) == dram.AntiCell {
 		l = l.Invert()
 	}

@@ -1,6 +1,7 @@
 package transform
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -95,6 +96,38 @@ func TestPipelineOpCounting(t *testing.T) {
 	_ = p.Encode(l, 1)
 	if got := p.Ops(); got != 3 {
 		t.Fatalf("Ops = %d, want 3", got)
+	}
+}
+
+func TestPipelineConcurrentOpCounting(t *testing.T) {
+	// Regression test for the op-counter data race: the pipeline is shared
+	// by every rank shard, so concurrent Encode/Decode used to race on a
+	// plain `ops++` and drop energy-model operations. Run under -race this
+	// catches the race itself; the exact final count catches lost updates.
+	cfg := pipelineConfig()
+	p := NewPipeline(DefaultOptions(), ExactTypes{cfg})
+	const (
+		goroutines = 8
+		opsPerG    = 2000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			l := Line{uint64(g), 2, 3, 4, 5, 6, 7, 8}
+			row := g % cfg.RowsPerBank
+			for i := 0; i < opsPerG/2; i++ {
+				if got := p.Decode(p.Encode(l, row), row); got != l {
+					t.Errorf("goroutine %d: round trip corrupted", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := p.Ops(), int64(goroutines*opsPerG); got != want {
+		t.Fatalf("Ops = %d after concurrent use, want %d (lost updates)", got, want)
 	}
 }
 

@@ -1,6 +1,9 @@
 package workload
 
-import "zerorefresh/internal/dram"
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
+)
 
 // ContentStats reports the zero-value statistics of a generated memory
 // image — the measurement behind Figure 6 ("the portion of zeros at 1KB
@@ -27,6 +30,28 @@ func (s ContentStats) ZeroBlockFraction() float64 {
 		return 0
 	}
 	return float64(s.ZeroBlock1K) / float64(s.Blocks1K)
+}
+
+// Record publishes the content statistics into a metrics registry under
+// "workload." names, so experiment drivers can present them alongside the
+// hardware counters in one snapshot. Counters accumulate across calls
+// (recording several benchmarks sums their footprints); the fraction
+// gauges reflect the accumulated totals.
+func (s ContentStats) Record(reg *metrics.Registry) {
+	reg.Counter("workload.pages").Add(int64(s.Pages))
+	reg.Counter("workload.bytes").Add(s.Bytes)
+	reg.Counter("workload.zero_bytes").Add(s.ZeroBytes)
+	reg.Counter("workload.blocks_1k").Add(s.Blocks1K)
+	reg.Counter("workload.zero_blocks_1k").Add(s.ZeroBlock1K)
+	snap := reg.Snapshot()
+	total := ContentStats{
+		Bytes:       snap.Counter("workload.bytes"),
+		ZeroBytes:   snap.Counter("workload.zero_bytes"),
+		Blocks1K:    snap.Counter("workload.blocks_1k"),
+		ZeroBlock1K: snap.Counter("workload.zero_blocks_1k"),
+	}
+	reg.Gauge("workload.zero_byte_frac").Set(total.ZeroByteFraction())
+	reg.Gauge("workload.zero_block_frac").Set(total.ZeroBlockFraction())
 }
 
 // MeasureContent generates the first `pages` pages of the profile's

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
 )
 
 func TestMeasuredContentMatchesAnalytic(t *testing.T) {
@@ -197,5 +198,36 @@ func TestSplitMixDeterminism(t *testing.T) {
 	}
 	if HashString("abc") == HashString("abd") {
 		t.Fatal("string hash collision on near strings")
+	}
+}
+
+func TestContentStatsRecord(t *testing.T) {
+	p, ok := ByName("mcf")
+	if !ok {
+		t.Fatal("mcf profile missing")
+	}
+	st := p.MeasureContent(1, 16)
+	reg := metrics.NewRegistry()
+	st.Record(reg)
+	snap := reg.Snapshot()
+	if got := snap.Counter("workload.bytes"); got != st.Bytes {
+		t.Fatalf("workload.bytes = %d, want %d", got, st.Bytes)
+	}
+	if got := snap.Counter("workload.zero_bytes"); got != st.ZeroBytes {
+		t.Fatalf("workload.zero_bytes = %d, want %d", got, st.ZeroBytes)
+	}
+	frac, ok := snap.Get("workload.zero_byte_frac")
+	if !ok || frac.Float != st.ZeroByteFraction() {
+		t.Fatalf("workload.zero_byte_frac = %v, want %v", frac.Float, st.ZeroByteFraction())
+	}
+	// Recording again accumulates counters and refreshes the fractions.
+	st.Record(reg)
+	snap = reg.Snapshot()
+	if got := snap.Counter("workload.bytes"); got != 2*st.Bytes {
+		t.Fatalf("after second record, workload.bytes = %d, want %d", got, 2*st.Bytes)
+	}
+	frac, _ = snap.Get("workload.zero_byte_frac")
+	if frac.Float != st.ZeroByteFraction() {
+		t.Fatal("fraction gauge should be unchanged by doubling both numerator and denominator")
 	}
 }
