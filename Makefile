@@ -1,9 +1,14 @@
 # Development entry points for the zerorefresh simulator.
 #
-#   make check   - the gate every change must pass: vet, build, and the
-#                  full test suite under the race detector (benchmarks
-#                  excluded via -short; the golden-stats and concurrency
-#                  tests still run and exercise the sharded paths).
+#   make check   - the gate every change must pass: vet, zrlint, build,
+#                  and the full test suite under the race detector
+#                  (benchmarks excluded via -short; the golden-stats and
+#                  concurrency tests still run and exercise the sharded
+#                  paths).
+#   make lint    - the domain-aware static analysis (cmd/zrlint):
+#                  determinism, atomic-field consistency, layer purity,
+#                  must-use results, lock safety. Findings fail the build
+#                  unless annotated //zr:allow(<analyzer>).
 #   make test    - the plain tier-1 suite, as CI runs it.
 #   make bench   - regenerate the paper's evaluation via the benchmark
 #                  harness (slow; minutes).
@@ -11,13 +16,16 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet lint build test race bench
 
-check: vet build
+check: vet lint build
 	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/zrlint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,93 @@
+// Command zrlint runs the simulator's domain-aware static analysis over
+// the module: determinism (no wall clock, no global RNG), atomic-field
+// consistency, layer purity (DRAM mutation and metric minting ownership),
+// must-use results, and lock safety across blocking operations. See
+// internal/analysis for the invariants and the //zr:allow(<analyzer>)
+// suppression syntax.
+//
+// Usage:
+//
+//	zrlint [-json] [packages]
+//
+// Packages default to ./... . The exit status is 1 when findings remain, 2
+// on loading errors, so `make lint` fails exactly when an invariant is
+// broken without an acknowledging annotation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"zerorefresh/internal/analysis"
+)
+
+// jsonDiagnostic is the machine-readable finding shape of -json mode.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: zrlint [-json] [packages]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name(), a.Doc())
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	prog, err := analysis.LoadModule(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zrlint:", err)
+		os.Exit(2)
+	}
+	diags := analysis.Analyze(prog, analysis.All()...)
+
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     relPath(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "zrlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relPath shortens absolute file names to cwd-relative ones for readable,
+// clickable diagnostics.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return name
+}

@@ -24,7 +24,7 @@ func runTrace(trace zerorefresh.TraceModel, prof zerorefresh.Profile) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	alloc := zerorefresh.NewAllocator(sys.Pages(), 1)
+	alloc := zerorefresh.NewAllocator(sys.Pages())
 	alloc.OnAllocate = func(p int) {
 		if err := sys.FillPageFromProfile(prof, p, 1, 0); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,193 @@
+// Package analysis implements zrlint, the simulator's domain-aware static
+// analysis. It loads and type-checks the module with nothing but the
+// standard library (go/parser, go/types; stdlib imports are type-checked
+// from GOROOT source, so the pass works offline) and runs a suite of
+// analyzers that machine-check the invariants the test suite can only spot
+// when they happen to break:
+//
+//   - atomicfield: a struct field accessed through sync/atomic anywhere must
+//     never be read or written plainly elsewhere (the Pipeline.ops race,
+//     generalized).
+//   - determinism: no time.Now, no global math/rand, no ad-hoc RNG
+//     construction in simulation code — the golden-stats tests demand
+//     bit-identical replay from a seed.
+//   - layerpurity: only internal/dram mutates cell/charge state (everyone
+//     else goes through engine.MemoryBackend) and only internal/metrics
+//     mints counters/gauges (everyone else goes through metrics.Registry).
+//   - mustuse: dropped errors and discarded accessor results.
+//   - locksafe: no mutex held across a channel send or engine.ForEach.
+//
+// A finding can be acknowledged in place with a `//zr:allow(<analyzer>)`
+// comment on the offending line or the line above it; the comment is the
+// audit trail for why the invariant is deliberately bent there.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Config names the packages whose layering contract the analyzers enforce.
+// The zero value disables the layer-specific rules; LoadModule fills it
+// from the module path so the same analyzers run unchanged against the
+// fixture trees in testdata.
+type Config struct {
+	// ModulePath is the import-path prefix of first-party packages.
+	ModulePath string
+	// DRAMPath is the one package allowed to mutate DRAM cell/charge
+	// state directly.
+	DRAMPath string
+	// CorePath is the composition root: it constructs concrete modules
+	// and may call their mutating methods while wiring a system.
+	CorePath string
+	// MetricsPath is the one package allowed to construct Counter/Gauge
+	// values; all other packages mint them via the Registry.
+	MetricsPath string
+	// EnginePath hosts ForEach, which must never run under a held lock.
+	EnginePath string
+}
+
+// ConfigForModule returns the layer map of a module following this
+// repository's internal layout.
+func ConfigForModule(modulePath string) Config {
+	return Config{
+		ModulePath:  modulePath,
+		DRAMPath:    modulePath + "/internal/dram",
+		CorePath:    modulePath + "/internal/core",
+		MetricsPath: modulePath + "/internal/metrics",
+		EnginePath:  modulePath + "/internal/engine",
+	}
+}
+
+// Package is one loaded, type-checked, non-test package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Files are the parsed sources (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's resolution maps for Files.
+	Info *types.Info
+}
+
+// Program is the unit zrlint analyzes: every package of interest plus the
+// shared FileSet and the layer configuration.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Config   Config
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run receives the whole program — not
+// one package at a time — because several analyzers need cross-package
+// facts (a field made atomic in one package forbids plain access in every
+// other).
+type Analyzer interface {
+	// Name is the identifier used in diagnostics and //zr:allow comments.
+	Name() string
+	// Doc is a one-line description of the guarded invariant.
+	Doc() string
+	// Run reports findings through report; suppression filtering and
+	// ordering are the driver's job.
+	Run(prog *Program, report func(pos token.Pos, msg string))
+}
+
+// All returns the full analyzer suite in reporting-name order.
+func All() []Analyzer {
+	return []Analyzer{
+		Atomicfield{},
+		Determinism{},
+		Layerpurity{},
+		Locksafe{},
+		Mustuse{},
+	}
+}
+
+// Analyze runs the analyzers over the program, drops findings acknowledged
+// by //zr:allow comments, and returns the rest sorted by position.
+func Analyze(prog *Program, analyzers ...Analyzer) []Diagnostic {
+	var files []*ast.File
+	for _, p := range prog.Packages {
+		files = append(files, p.Files...)
+	}
+	sup := CollectSuppressions(prog.Fset, files)
+
+	var diags []Diagnostic
+	seen := make(map[Diagnostic]bool)
+	for _, a := range analyzers {
+		name := a.Name()
+		a.Run(prog, func(pos token.Pos, msg string) {
+			p := prog.Fset.Position(pos)
+			if sup.Allows(p, name) {
+				return
+			}
+			d := Diagnostic{Pos: p, Analyzer: name, Message: msg}
+			if seen[d] {
+				return
+			}
+			seen[d] = true
+			diags = append(diags, d)
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// calleeFunc resolves the static *types.Func a call invokes, or nil for
+// builtins, conversions, and calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// namedOf unwraps pointers and returns the named type beneath t, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeName renders a type with package-name (not full path) qualification,
+// for compact diagnostics.
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicfield generalizes the Pipeline.ops race fix: once any code path
+// updates a struct field through sync/atomic, every other access to that
+// field must be atomic too — a single plain read or write reintroduces the
+// data race the atomic was meant to remove, and the race detector only
+// catches it when a test happens to interleave the two.
+//
+// The analyzer gathers cross-package facts in a first pass (which fields
+// appear as &x.f operands of sync/atomic calls, anywhere in the program)
+// and then reports every plain selector read or write of those fields.
+type Atomicfield struct{}
+
+// Name implements Analyzer.
+func (Atomicfield) Name() string { return "atomicfield" }
+
+// Doc implements Analyzer.
+func (Atomicfield) Doc() string {
+	return "fields accessed via sync/atomic must never be read or written plainly"
+}
+
+// atomicFact records where a field was first seen used atomically.
+type atomicFact struct {
+	pos  token.Pos
+	name string
+}
+
+// Run implements Analyzer.
+func (Atomicfield) Run(prog *Program, report func(pos token.Pos, msg string)) {
+	facts := make(map[*types.Var]atomicFact)
+	sanctioned := make(map[token.Pos]bool)
+
+	// Pass 1: collect (field -> atomic use) facts across every package.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if fn.Type().(*types.Signature).Recv() != nil {
+					// Methods of atomic.Int64 etc. enforce atomicity by
+					// construction; only the &field function forms create
+					// the split-brain hazard.
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					s, ok := pkg.Info.Selections[sel]
+					if !ok || s.Kind() != types.FieldVal {
+						continue
+					}
+					v, ok := s.Obj().(*types.Var)
+					if !ok {
+						continue
+					}
+					if _, seen := facts[v]; !seen {
+						facts[v] = atomicFact{pos: sel.Pos(), name: fieldName(s, v)}
+					}
+					sanctioned[sel.Pos()] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(facts) == 0 {
+		return
+	}
+
+	// Pass 2: every remaining plain selector touching a fact field races.
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				fact, ok := facts[v]
+				if !ok || sanctioned[sel.Pos()] {
+					return true
+				}
+				report(sel.Pos(), fmt.Sprintf(
+					"plain access to %s, which is accessed atomically at %s; every access must go through sync/atomic",
+					fact.name, prog.Fset.Position(fact.pos)))
+				return true
+			})
+		}
+	}
+}
+
+// fieldName renders "Type.field" for diagnostics.
+func fieldName(s *types.Selection, v *types.Var) string {
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	return typeName(recv) + "." + v.Name()
+}

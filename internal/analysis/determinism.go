@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+)
+
+// Determinism protects the golden-stats bit-identity contract: a simulation
+// whose counters depend on wall-clock time or on the process-global RNG
+// cannot be replayed, so drift hides correctness bugs instead of failing a
+// test. Simulation packages must thread dram.Time explicitly and draw all
+// randomness from rng.SplitMix seeded by explicit coordinates.
+//
+// Flagged: time.Now, every package-level function of math/rand and
+// math/rand/v2 (the global draws Intn/Float64/... because they share
+// process state, Seed because it mutates it, New/NewSource because ad-hoc
+// generators bypass the sanctioned PRNG). A deliberately seeded local RNG
+// can be kept with //zr:allow(determinism) stating why.
+type Determinism struct{}
+
+// Name implements Analyzer.
+func (Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (Determinism) Doc() string {
+	return "no time.Now or math/rand in simulation code; randomness comes from seeded rng.SplitMix"
+}
+
+// Run implements Analyzer.
+func (Determinism) Run(prog *Program, report func(pos token.Pos, msg string)) {
+	for _, pkg := range prog.Packages {
+		for id, obj := range pkg.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				continue
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				// Methods (e.g. on a *rand.Rand a test constructed and
+				// injected) are the caller's seeded state, not the global.
+				continue
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					report(id.Pos(), "time.Now breaks bit-identical replay; thread dram.Time through the call path instead")
+				}
+			case "math/rand", "math/rand/v2":
+				switch fn.Name() {
+				case "New", "NewSource", "NewZipf", "NewChaCha8", "NewPCG":
+					report(id.Pos(), fmt.Sprintf(
+						"%s constructs an ad-hoc RNG; use rng.SplitMix seeded from explicit coordinates, or annotate //zr:allow(determinism) for a deliberately seeded local generator",
+						fn.Pkg().Path()+"."+fn.Name()))
+				default:
+					report(id.Pos(), fmt.Sprintf(
+						"global %s draws from process-wide RNG state and breaks bit-identical replay; use a seeded rng.SplitMix",
+						fn.Pkg().Path()+"."+fn.Name()))
+				}
+			}
+		}
+	}
+}

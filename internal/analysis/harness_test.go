@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe matches `// want "regex"` expected-diagnostic comments in fixture
+// sources. The captured regex must match a diagnostic reported on the same
+// line.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// fixtureConfig maps a fixture subtree onto the layer configuration, so
+// the analyzers run against the mini dram/metrics/core/engine packages
+// exactly as they run against the real module.
+func fixtureConfig(name string) Config {
+	return Config{
+		ModulePath:  name,
+		DRAMPath:    name + "/dram",
+		CorePath:    name + "/core",
+		MetricsPath: name + "/metrics",
+		EnginePath:  name + "/engine",
+	}
+}
+
+// TestAnalyzersOnFixtures checks every analyzer against its testdata
+// fixture: each `// want` comment must be matched by a diagnostic on its
+// line, every diagnostic must be expected by a want, and the //zr:allow
+// negatives must produce nothing (a broken suppression path surfaces as an
+// unexpected diagnostic).
+func TestAnalyzersOnFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer Analyzer
+		fixture  string
+	}{
+		{Atomicfield{}, "atomicfield"},
+		{Determinism{}, "determinism"},
+		{Layerpurity{}, "layerpurity"},
+		{Locksafe{}, "locksafe"},
+		{Mustuse{}, "mustuse"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			runFixture(t, tc.analyzer, tc.fixture)
+		})
+	}
+}
+
+func runFixture(t *testing.T, a Analyzer, name string) {
+	t.Helper()
+	prog, err := LoadTree(filepath.Join("testdata", "src"), name, fixtureConfig(name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	diags := Analyze(prog, a)
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want)
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := prog.Fset.Position(c.Pos())
+					k := lineKey(pos.Filename, pos.Line)
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", name)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[lineKey(d.Pos.Filename, d.Pos.Line)] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", k, w.re)
+			}
+		}
+	}
+}
+
+func lineKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// TestAnalyzerMetadata keeps names (the //zr:allow currency) and docs
+// stable and non-empty.
+func TestAnalyzerMetadata(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name() == "" || a.Doc() == "" {
+			t.Errorf("analyzer %T has empty metadata", a)
+		}
+		if names[a.Name()] {
+			t.Errorf("duplicate analyzer name %q", a.Name())
+		}
+		names[a.Name()] = true
+	}
+	for _, expect := range []string{"atomicfield", "determinism", "layerpurity", "locksafe", "mustuse"} {
+		if !names[expect] {
+			t.Errorf("analyzer %q missing from All()", expect)
+		}
+	}
+}

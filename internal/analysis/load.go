@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkgMeta is the slice of `go list -json` output the loader needs. The
+// fixture loader synthesizes the same shape from a directory walk, so one
+// type checker serves both the real module and the testdata trees.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Module     *struct{ Path string }
+}
+
+// loader type-checks packages on demand. Module-internal imports resolve
+// through the metadata map; everything else (the standard library) is
+// type-checked from GOROOT source by the stdlib "source" importer, which
+// keeps the whole pass offline and dependency-free.
+type loader struct {
+	fset    *token.FileSet
+	resolve func(path string) (pkgMeta, bool)
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(resolve func(path string) (pkgMeta, bool)) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		resolve: resolve,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over the resolver and stdlib fallback.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Pkg, nil
+	}
+	if m, ok := l.resolve(path); ok {
+		p, err := l.load(m)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one package, memoizing the result.
+func (l *loader) load(m pkgMeta) (*Package, error) {
+	if p, ok := l.pkgs[m.ImportPath]; ok {
+		return p, nil
+	}
+	if l.loading[m.ImportPath] {
+		return nil, fmt.Errorf("import cycle through %s", m.ImportPath)
+	}
+	l.loading[m.ImportPath] = true
+	defer delete(l.loading, m.ImportPath)
+
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(m.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", m.ImportPath, err)
+	}
+	p := &Package{Path: m.ImportPath, Files: files, Pkg: tpkg, Info: info}
+	l.pkgs[m.ImportPath] = p
+	return p, nil
+}
+
+// goList runs `go list -json` in dir and decodes the package stream.
+func goList(dir string, patterns []string) ([]pkgMeta, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var metas []pkgMeta
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var m pkgMeta
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// LoadModule lists the packages matching the patterns (default the whole
+// module) with `go list -json`, type-checks them, and returns the analysis
+// program with the layer configuration derived from the module path.
+// Imports of module packages outside the pattern set are resolved with
+// follow-up go list calls, so narrowing the patterns never breaks loading.
+func LoadModule(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(metas) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	modulePath := ""
+	byPath := make(map[string]pkgMeta, len(metas))
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+		if m.Module != nil && modulePath == "" {
+			modulePath = m.Module.Path
+		}
+	}
+	resolve := func(path string) (pkgMeta, bool) {
+		if m, ok := byPath[path]; ok {
+			return m, true
+		}
+		if modulePath == "" || (path != modulePath && !strings.HasPrefix(path, modulePath+"/")) {
+			return pkgMeta{}, false
+		}
+		extra, err := goList(dir, []string{path})
+		if err != nil || len(extra) != 1 {
+			return pkgMeta{}, false
+		}
+		byPath[path] = extra[0]
+		return extra[0], true
+	}
+
+	ld := newLoader(resolve)
+	prog := &Program{Fset: ld.fset, Config: ConfigForModule(modulePath)}
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		p, err := ld.load(m)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, p)
+	}
+	return prog, nil
+}
+
+// LoadTree loads a fixture tree: every directory under srcRoot/subtree that
+// contains non-test .go files becomes a package whose import path is its
+// slash-separated path relative to srcRoot. Fixture packages import each
+// other by those paths; stdlib imports fall through to the source importer.
+func LoadTree(srcRoot, subtree string, cfg Config) (*Program, error) {
+	resolve := func(path string) (pkgMeta, bool) {
+		m, err := dirMeta(srcRoot, path)
+		if err != nil {
+			return pkgMeta{}, false
+		}
+		return m, true
+	}
+
+	var paths []string
+	root := filepath.Join(srcRoot, filepath.FromSlash(subtree))
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(srcRoot, p)
+		if err != nil {
+			return err
+		}
+		if _, err := dirMeta(srcRoot, filepath.ToSlash(rel)); err == nil {
+			paths = append(paths, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no fixture packages under %s", root)
+	}
+
+	ld := newLoader(resolve)
+	prog := &Program{Fset: ld.fset, Config: cfg}
+	for _, path := range paths {
+		m, err := dirMeta(srcRoot, path)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ld.load(m)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, p)
+	}
+	return prog, nil
+}
+
+// dirMeta builds package metadata for one fixture directory, or errors if
+// the directory holds no non-test Go files.
+func dirMeta(srcRoot, importPath string) (pkgMeta, error) {
+	dir := filepath.Join(srcRoot, filepath.FromSlash(importPath))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return pkgMeta{}, err
+	}
+	var gofiles []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			gofiles = append(gofiles, name)
+		}
+	}
+	if len(gofiles) == 0 {
+		return pkgMeta{}, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(gofiles)
+	return pkgMeta{ImportPath: importPath, Dir: dir, GoFiles: gofiles}, nil
+}

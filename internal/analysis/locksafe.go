@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Locksafe flags a mutex held across the two operations that block on other
+// goroutines: a channel send and engine.ForEach (whose dynamically
+// scheduled workers may themselves need the lock — the classic shard-pool
+// deadlock). The walk is a straight-line, source-order approximation of
+// each function body: Lock/RLock marks the receiver held, Unlock/RUnlock
+// releases it, a deferred Unlock keeps it held to the end of the function,
+// and function literals are analyzed as their own bodies.
+//
+// The approximation errs toward reporting; a send that is provably safe
+// (e.g. into a buffered channel sized for the critical section) can be
+// annotated //zr:allow(locksafe) with the proof in the comment.
+type Locksafe struct{}
+
+// Name implements Analyzer.
+func (Locksafe) Name() string { return "locksafe" }
+
+// Doc implements Analyzer.
+func (Locksafe) Doc() string {
+	return "no mutex held across a channel send or engine.ForEach"
+}
+
+// Run implements Analyzer.
+func (l Locksafe) Run(prog *Program, report func(pos token.Pos, msg string)) {
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						l.checkBody(prog, pkg, n.Body, report)
+					}
+				case *ast.FuncLit:
+					l.checkBody(prog, pkg, n.Body, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkBody walks one function body in source order, tracking held locks.
+func (Locksafe) checkBody(prog *Program, pkg *Package, body *ast.BlockStmt, report func(token.Pos, string)) {
+	held := make(map[string]token.Pos)
+	deferred := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is its own execution context (usually a
+			// goroutine body); it is analyzed separately by Run.
+			return false
+		case *ast.DeferStmt:
+			if kind, _, ok := lockCall(pkg.Info, n.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				// The deferred unlock runs at return, so the lock stays
+				// held for the rest of the body.
+				deferred[n.Call] = true
+			}
+		case *ast.CallExpr:
+			if kind, recv, ok := lockCall(pkg.Info, n); ok {
+				switch kind {
+				case "Lock", "RLock":
+					held[recv] = n.Pos()
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						delete(held, recv)
+					}
+				}
+				return true
+			}
+			if fn := calleeFunc(pkg.Info, n); fn != nil && fn.Name() == "ForEach" &&
+				fn.Pkg() != nil && fn.Pkg().Path() == prog.Config.EnginePath && len(held) > 0 {
+				report(n.Pos(), fmt.Sprintf(
+					"engine.ForEach called while %s is held; workers scheduled by ForEach may need the lock and deadlock the pool",
+					heldNames(held)))
+			}
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				report(n.Pos(), fmt.Sprintf(
+					"channel send while %s is held; the receiver may be blocked on the same lock",
+					heldNames(held)))
+			}
+		}
+		return true
+	})
+}
+
+// lockCall recognizes m.Lock/RLock/Unlock/RUnlock calls on sync types
+// (including mutexes embedded in larger structs) and returns the method
+// kind plus the rendered receiver expression.
+func lockCall(info *types.Info, call *ast.CallExpr) (kind, recv string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return sel.Sel.Name, types.ExprString(sel.X), true
+}
+
+// heldNames renders the held lock set deterministically.
+func heldNames(held map[string]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

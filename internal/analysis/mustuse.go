@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Mustuse catches values that were computed and then thrown away:
+//
+//   - a call statement whose callee returns an error (the error vanishes;
+//     in a simulator that usually means a failed experiment reports
+//     success);
+//   - a call statement invoking a parameterless, non-error accessor (the
+//     call has no arguments to act on, so discarding its only product makes
+//     the statement a no-op); parameterless *drivers* — names with a
+//     driving-verb prefix like RunWindow — are exempt, because they are
+//     called to advance state and their summary result is optional;
+//   - `_ = x` where x is a plain local variable or parameter — the idiom
+//     that hid both the unrecorded L2 writeback hit and the dead Allocator
+//     seed. Either the value matters (record it) or it does not (delete
+//     it).
+//
+// fmt's print family and the never-failing strings.Builder / bytes.Buffer
+// writers are exempt from the dropped-error rule.
+type Mustuse struct{}
+
+// Name implements Analyzer.
+func (Mustuse) Name() string { return "mustuse" }
+
+// Doc implements Analyzer.
+func (Mustuse) Doc() string {
+	return "no dropped errors, discarded accessor results, or `_ = x` value burials"
+}
+
+// Run implements Analyzer.
+func (m Mustuse) Run(prog *Program, report func(pos token.Pos, msg string)) {
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					m.checkCallStmt(pkg, n, report)
+				case *ast.AssignStmt:
+					m.checkBlankAssign(pkg, n, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCallStmt flags statement-position calls whose results are lost.
+func (Mustuse) checkCallStmt(pkg *Package, stmt *ast.ExprStmt, report func(token.Pos, string)) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	res := sig.Results()
+	if res.Len() == 0 {
+		return
+	}
+	if returnsError(res) {
+		if errTolerant(fn, sig) {
+			return
+		}
+		report(call.Pos(), fmt.Sprintf("dropped error: result of %s is ignored; handle it or annotate //zr:allow(mustuse)", callName(fn)))
+		return
+	}
+	if sig.Params().Len() == 0 && !sig.Variadic() && !drivingVerb(fn.Name()) {
+		report(call.Pos(), fmt.Sprintf("result of accessor %s discarded; use the value or remove the no-op call", callName(fn)))
+	}
+}
+
+// drivingVerbs are name prefixes marking a parameterless function as a
+// state driver (called for its side effects, result optional) rather than
+// an accessor. RunWindow advances a whole retention window; discarding its
+// CycleStats while warming a system to steady state is intentional.
+var drivingVerbs = []string{"Run", "Step", "Advance", "Tick", "Next", "Churn", "Flush", "Close", "Reset", "Warm"}
+
+// drivingVerb reports whether name starts with a driving-verb prefix.
+func drivingVerb(name string) bool {
+	for _, v := range drivingVerbs {
+		if strings.HasPrefix(name, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlankAssign flags `_ = x` burials of plain local values.
+func (Mustuse) checkBlankAssign(pkg *Package, stmt *ast.AssignStmt, report func(token.Pos, string)) {
+	if stmt.Tok != token.ASSIGN || len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+		return
+	}
+	lhs, ok := stmt.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name != "_" {
+		return
+	}
+	rhs, ok := ast.Unparen(stmt.Rhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := pkg.Info.Uses[rhs].(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		// Package-level `_ = x` keep-alive declarations are a different
+		// idiom (compile-time assertions); leave them be.
+		return
+	}
+	report(stmt.Pos(), fmt.Sprintf("value %q buried with a blank assignment; record it or delete it", rhs.Name))
+}
+
+// returnsError reports whether any result is exactly the error type.
+func returnsError(res *types.Tuple) bool {
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// errTolerant exempts callees whose errors are noise by contract: fmt's
+// print family, and writers documented to never fail.
+func errTolerant(fn *types.Func, sig *types.Signature) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if recv := sig.Recv(); recv != nil {
+		switch typeName(recv.Type()) {
+		case "*strings.Builder", "strings.Builder", "*bytes.Buffer", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders the callee for diagnostics, receiver included.
+func callName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		return "(" + typeName(recv.Type()) + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

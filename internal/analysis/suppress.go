@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches //zr:allow(name) and //zr:allow(name1, name2) comments.
+// Anything after the closing parenthesis is free-form justification.
+var allowRe = regexp.MustCompile(`//\s*zr:allow\(([A-Za-z0-9_,\s]+)\)`)
+
+// Suppressions indexes //zr:allow comments by file and line. A diagnostic
+// is suppressed when an allow comment naming its analyzer sits on the same
+// line (trailing comment) or on the line directly above (own-line comment).
+type Suppressions struct {
+	// byFile maps filename -> line -> analyzer names allowed there.
+	byFile map[string]map[int][]string
+}
+
+// CollectSuppressions scans the comments of the given files (which must
+// have been parsed with parser.ParseComments under fset).
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFile: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return s
+}
+
+// parseAllow extracts the analyzer names from one comment's text, or nil.
+func parseAllow(text string) []string {
+	m := allowRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(m[1], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos is
+// acknowledged by a //zr:allow comment.
+func (s *Suppressions) Allows(pos token.Position, analyzer string) bool {
+	lines := s.byFile[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

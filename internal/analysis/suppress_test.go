@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//zr:allow(determinism)", []string{"determinism"}},
+		{"// zr:allow(mustuse) best-effort teardown", []string{"mustuse"}},
+		{"//zr:allow(mustuse, locksafe) two invariants bent at once", []string{"mustuse", "locksafe"}},
+		{"//zr:allow( atomicfield )", []string{"atomicfield"}},
+		{"// plain comment", nil},
+		{"//zr:allow()", nil},
+		{"// zrallow(determinism)", nil},
+	}
+	for _, tc := range cases {
+		if got := parseAllow(tc.text); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestSuppressionsAllows(t *testing.T) {
+	src := `package p
+
+func f() {
+	a() //zr:allow(mustuse) trailing comment on the offending line
+	//zr:allow(locksafe) own-line comment above the offending line
+	b()
+	c()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := CollectSuppressions(fset, []*ast.File{f})
+
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line, Column: 2} }
+
+	if !sup.Allows(at(4), "mustuse") {
+		t.Error("trailing //zr:allow on the same line should suppress")
+	}
+	if sup.Allows(at(4), "locksafe") {
+		t.Error("a different analyzer's name must not suppress")
+	}
+	if !sup.Allows(at(6), "locksafe") {
+		t.Error("own-line //zr:allow on the previous line should suppress")
+	}
+	if sup.Allows(at(7), "mustuse") || sup.Allows(at(7), "locksafe") {
+		t.Error("lines without a nearby allow comment must not be suppressed")
+	}
+	if sup.Allows(token.Position{Filename: "q.go", Line: 4}, "mustuse") {
+		t.Error("suppressions must be scoped to their file")
+	}
+}

@@ -1,0 +1,35 @@
+// Package atomicfield reenacts the Pipeline.ops data race: ops is bumped
+// through sync/atomic on the hot path, so every other access must be
+// atomic too.
+package atomicfield
+
+import "sync/atomic"
+
+type pipeline struct {
+	ops  int64
+	name string
+}
+
+func (p *pipeline) inc() {
+	atomic.AddInt64(&p.ops, 1)
+}
+
+func (p *pipeline) read() int64 {
+	return p.ops // want "plain access to atomicfield.pipeline.ops"
+}
+
+func (p *pipeline) reset() {
+	p.ops = 0 // want "plain access to atomicfield.pipeline.ops"
+}
+
+func (p *pipeline) readAtomic() int64 {
+	return atomic.LoadInt64(&p.ops)
+}
+
+func (p *pipeline) label() string {
+	return p.name
+}
+
+func (p *pipeline) teardown() int64 {
+	return p.ops //zr:allow(atomicfield) single-threaded teardown after the worker pool has joined
+}

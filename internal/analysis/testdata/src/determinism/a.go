@@ -1,0 +1,28 @@
+// Package determinism exercises the wall-clock and global-RNG bans that
+// protect bit-identical replay.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now breaks bit-identical replay"
+}
+
+func globalDraw() int {
+	return rand.Intn(6) // want "global math/rand.Intn draws from process-wide RNG state"
+}
+
+func adHoc() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "constructs an ad-hoc RNG"
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //zr:allow(determinism) sensitivity sweep deliberately reuses rand's float distribution
+}
+
+func injected(r *rand.Rand) int {
+	return r.Intn(6)
+}

@@ -1,0 +1,50 @@
+// Package consumer exercises the layer-ownership rules from outside the
+// owning packages.
+package consumer
+
+import (
+	"layerpurity/dram"
+	"layerpurity/metrics"
+)
+
+// backend is a declared interface slice of the rank contract; mutating
+// through it is the sanctioned path.
+type backend interface {
+	WriteWord(row int, v uint64)
+	Refresh(row int) bool
+}
+
+func direct(m *dram.Module) bool {
+	m.WriteWord(0, 1)   // want "mutates DRAM cell state on concrete"
+	return m.Refresh(0) // want "mutates DRAM cell state on concrete"
+}
+
+func throughInterface(b backend) bool {
+	b.WriteWord(0, 1)
+	return b.Refresh(0)
+}
+
+func bootProbe(m *dram.Module) {
+	m.MarkSpared(3) //zr:allow(layerpurity) boot-time row-sparing probe needs the concrete module
+}
+
+func read(m *dram.Module) int {
+	return m.Rows()
+}
+
+func mint() *metrics.Counter {
+	return &metrics.Counter{} // want "constructed by composite literal"
+}
+
+func mintNew() *metrics.Gauge {
+	return new(metrics.Gauge) // want "constructed with new"
+}
+
+type holder struct {
+	good *metrics.Counter
+	bad  metrics.Gauge // want "declared by value"
+}
+
+func sanctioned(r *metrics.Registry) *metrics.Counter {
+	return r.Counter("fills")
+}

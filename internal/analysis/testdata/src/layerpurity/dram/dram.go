@@ -1,0 +1,15 @@
+// Package dram is the fixture stand-in for the real DRAM layer: the one
+// package allowed to touch cell state directly.
+package dram
+
+type Module struct{ rows []uint64 }
+
+func New(n int) *Module { return &Module{rows: make([]uint64, n)} }
+
+func (m *Module) Rows() int { return len(m.rows) }
+
+func (m *Module) WriteWord(row int, v uint64) { m.rows[row] = v }
+
+func (m *Module) Refresh(row int) bool { return m.rows[row] == 0 }
+
+func (m *Module) MarkSpared(row int) { m.rows[row] = ^uint64(0) }

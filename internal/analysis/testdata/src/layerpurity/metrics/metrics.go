@@ -1,0 +1,24 @@
+// Package metrics is the fixture registry: the one minter of counters and
+// gauges.
+package metrics
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Add(d int64) { c.v += d }
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { g.v = v }
+
+type Registry struct{ counters map[string]*Counter }
+
+func NewRegistry() *Registry { return &Registry{counters: make(map[string]*Counter)} }
+
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}

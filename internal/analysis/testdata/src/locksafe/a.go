@@ -1,0 +1,55 @@
+// Package locksafe exercises the held-lock-across-blocking-operation
+// rules.
+package locksafe
+
+import (
+	"sync"
+
+	"locksafe/engine"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals []int
+	out  chan int
+}
+
+func (s *shard) sendUnderLock() {
+	s.mu.Lock()
+	s.out <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *shard) forEachUnderDeferredLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return engine.ForEach(len(s.vals), func(i int) error { return nil }) // want "engine.ForEach called while s.mu is held"
+}
+
+func (s *shard) sendUnderReadLock() {
+	s.rw.RLock()
+	s.out <- s.vals[0] // want "channel send while s.rw is held"
+	s.rw.RUnlock()
+}
+
+func (s *shard) sendAfterRelease() {
+	s.mu.Lock()
+	v := s.vals[0]
+	s.mu.Unlock()
+	s.out <- v
+}
+
+func (s *shard) goroutineOwnsNoLock() {
+	s.mu.Lock()
+	go func() {
+		s.out <- 2
+	}()
+	s.mu.Unlock()
+}
+
+func (s *shard) buffered() {
+	s.mu.Lock()
+	s.out <- 3 //zr:allow(locksafe) out is buffered with capacity >= writers and cannot block here
+	s.mu.Unlock()
+}

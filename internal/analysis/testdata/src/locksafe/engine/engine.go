@@ -1,0 +1,13 @@
+// Package engine is the fixture worker pool: ForEach must never run under
+// a held lock.
+package engine
+
+// ForEach runs fn over [0,n) like the real shard pool.
+func ForEach(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Package mustuse exercises the dropped-error, discarded-accessor, and
+// blank-burial rules.
+package mustuse
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+type tank struct{ level int64 }
+
+// Level is a pure accessor.
+func (t *tank) Level() int64 { return t.level }
+
+// Fill mutates and returns nothing.
+func (t *tank) Fill() { t.level++ }
+
+// RunCycle is a parameterless driver: its summary result is optional.
+func (t *tank) RunCycle() int64 { t.level *= 2; return t.level }
+
+func step() error { return errors.New("deadline missed") }
+
+func demo() {
+	step() // want "dropped error"
+	t := &tank{}
+	t.Level() // want "result of accessor"
+	t.Fill()
+	t.RunCycle()
+	hit := true
+	_ = hit // want "buried with a blank assignment"
+	if err := step(); err != nil {
+		fmt.Println("handled", err)
+	}
+	var b strings.Builder
+	b.WriteString("never fails")
+	fmt.Println(b.String())
+}
+
+func cleanup() {
+	step() //zr:allow(mustuse) best-effort teardown; a failure only repeats at next boot
+}

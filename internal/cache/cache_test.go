@@ -194,6 +194,21 @@ func TestHierarchyDirtyDataReachesMemory(t *testing.T) {
 	}
 }
 
+func TestHierarchyWritebackHitStats(t *testing.T) {
+	h := NewHierarchy()
+	h.Access(0x2000, true) // dirty in L1, allocated in L2
+	// Conflict addr 0x2000 out of its 8-way L1 set; the dirty victim is
+	// written into L2, which still holds the line: a writeback hit.
+	l1Stride := uint64(h.L1.Sets() * 64)
+	for i := uint64(1); i <= 8; i++ {
+		h.Access(0x2000+i*l1Stride, false)
+	}
+	if h.L1WritebackHits() != 1 || h.L1WritebackMisses() != 0 {
+		t.Fatalf("wb hits/misses = %d/%d, want 1/0",
+			h.L1WritebackHits(), h.L1WritebackMisses())
+	}
+}
+
 func TestHierarchyRandomizedCounters(t *testing.T) {
 	h := NewHierarchy()
 	rng := rand.New(rand.NewSource(9))

@@ -18,6 +18,11 @@ type Hierarchy struct {
 
 	fills      int64
 	writebacks int64
+	// wbHits and wbMisses partition the L1 dirty victims written into L2:
+	// a hit merges into a line L2 already held, a miss means inclusion was
+	// broken (L2 evicted the line first) and the victim re-allocates it.
+	wbHits   int64
+	wbMisses int64
 }
 
 // NewHierarchy builds the Table II two-level hierarchy.
@@ -31,6 +36,14 @@ func (h *Hierarchy) Fills() int64 { return h.fills }
 // Writebacks returns the number of dirty lines written to memory.
 func (h *Hierarchy) Writebacks() int64 { return h.writebacks }
 
+// L1WritebackHits returns how many dirty L1 victims merged into a line L2
+// still held (the inclusive-hierarchy common case).
+func (h *Hierarchy) L1WritebackHits() int64 { return h.wbHits }
+
+// L1WritebackMisses returns how many dirty L1 victims found their line
+// already evicted from L2 and had to re-allocate it.
+func (h *Hierarchy) L1WritebackMisses() int64 { return h.wbMisses }
+
 // Access performs one load (write=false) or store (write=true) at the
 // line-aligned address and propagates misses and evictions down the
 // hierarchy. It returns which levels hit.
@@ -41,7 +54,11 @@ func (h *Hierarchy) Access(addr uint64, write bool) (l1Hit, l2Hit bool) {
 		// in this model, so this is a hit unless L2 already evicted
 		// it; either way it becomes dirty in L2.
 		hit, l2Ev := h.L2.Access(l1Ev.Addr, true)
-		_ = hit
+		if hit {
+			h.wbHits++
+		} else {
+			h.wbMisses++
+		}
 		h.memEvict(l2Ev)
 	}
 	if l1Hit {

@@ -33,13 +33,12 @@ type Allocator struct {
 }
 
 // NewAllocator builds an allocator over totalPages physical pages, all
-// initially free (and zero, as at boot). The seed parameter is retained
-// for configuration compatibility; placement is deterministic.
-func NewAllocator(totalPages int, seed uint64) *Allocator {
+// initially free (and zero, as at boot). Placement is fully deterministic
+// (first-fit allocate, LIFO release), so the allocator takes no seed.
+func NewAllocator(totalPages int) *Allocator {
 	if totalPages <= 0 {
 		panic("ostrace: totalPages must be positive")
 	}
-	_ = seed
 	return &Allocator{
 		totalPages: totalPages,
 		allocated:  make([]bool, totalPages),

@@ -66,7 +66,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestAllocatorReachesTargets(t *testing.T) {
-	a := NewAllocator(1000, 1)
+	a := NewAllocator(1000)
 	for _, target := range []float64{0.5, 0.9, 0.2, 0.0, 1.0, 0.28} {
 		if err := a.SetTargetFraction(target); err != nil {
 			t.Fatal(err)
@@ -81,7 +81,7 @@ func TestAllocatorReachesTargets(t *testing.T) {
 }
 
 func TestAllocatorCallbacks(t *testing.T) {
-	a := NewAllocator(100, 2)
+	a := NewAllocator(100)
 	filled := map[int]int{}
 	cleansed := map[int]int{}
 	a.OnAllocate = func(p int) { filled[p]++ }
@@ -108,7 +108,7 @@ func TestAllocatorCallbacks(t *testing.T) {
 }
 
 func TestAllocatorIndices(t *testing.T) {
-	a := NewAllocator(50, 3)
+	a := NewAllocator(50)
 	a.SetTargetFraction(0.3)
 	idx := a.AllocatedPageIndices()
 	if len(idx) != 15 {

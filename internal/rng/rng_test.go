@@ -1,0 +1,85 @@
+package rng
+
+import "testing"
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a, b := NewSplitMix(42), NewSplitMix(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d diverged: %#x != %#x", i, av, bv)
+		}
+	}
+	c := NewSplitMix(43)
+	if a.Uint64() == c.Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+func TestSplitMixGoldenSequence(t *testing.T) {
+	// Pin the splitmix64 output so a refactor can't silently change every
+	// seeded workload in the repo. Reference values for seed 0 from the
+	// original splitmix64 algorithm.
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	s := NewSplitMix(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := NewSplitMix(7)
+	for i := 0; i < 10000; i++ {
+		if v := s.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSplitMix(99)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean %v far from 0.5; generator badly biased", mean)
+	}
+}
+
+func TestHashOrderAndArity(t *testing.T) {
+	if Hash(1, 2) == Hash(2, 1) {
+		t.Fatal("Hash ignores coordinate order")
+	}
+	if Hash(1) == Hash(1, 0) {
+		t.Fatal("Hash ignores arity")
+	}
+	if Hash(5, 6) != Hash(5, 6) {
+		t.Fatal("Hash is not a pure function")
+	}
+}
+
+func TestHashStringDistinct(t *testing.T) {
+	if HashString("gemsFDTD") == HashString("mcf") {
+		t.Fatal("distinct names collided")
+	}
+	if HashString("x") != HashString("x") {
+		t.Fatal("HashString is not a pure function")
+	}
+}

@@ -137,7 +137,7 @@ func runScenario(o Options, prof workload.Profile, allocFrac float64, extended b
 
 	// Populate memory: allocated pages hold application content, free
 	// pages hold zeros (the boot/cleansed state needs no writes).
-	alloc := ostrace.NewAllocator(sys.Pages(), o.Seed)
+	alloc := ostrace.NewAllocator(sys.Pages())
 	var fillErr error
 	alloc.OnAllocate = func(p int) {
 		if err := sys.FillPageFromProfile(prof, p, o.Seed, 0); err != nil && fillErr == nil {

@@ -53,7 +53,7 @@ func TestTortureIntegration(t *testing.T) {
 
 	quarter := region / 4096
 	churnPages := sys.Pages() - quarter
-	alloc := ostrace.NewAllocator(churnPages, 1)
+	alloc := ostrace.NewAllocator(churnPages)
 	filledVersion := map[int]uint64{}
 	window := 0
 	alloc.OnAllocate = func(p int) {

@@ -1,9 +1,8 @@
 package transform
 
 import (
-	"math/rand"
-
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/rng"
 )
 
 // CellTypeMap supplies the CPU side's belief about the cell type of each
@@ -32,6 +31,20 @@ type ProbedTypes struct {
 // TypeOf implements CellTypeMap.
 func (p *ProbedTypes) TypeOf(rowIdx int) dram.CellType { return p.types[rowIdx] }
 
+// CellProber is the minimal slice of the DRAM rank contract the boot-time
+// identification probe needs: geometry plus raw word access. It is the
+// subset of engine.MemoryBackend that transform may touch (transform sits
+// below engine in the layer graph, so it declares its own view); any
+// MemoryBackend — and in particular *dram.Module — satisfies it.
+type CellProber interface {
+	// Config returns the rank geometry.
+	Config() dram.Config
+	// ReadWord returns word slot wordIdx of the chip-row.
+	ReadWord(chip, bank, rowIdx, wordIdx int, now dram.Time) uint64
+	// WriteWord stores v into word slot wordIdx of the chip-row.
+	WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now dram.Time)
+}
+
 // Identify runs the cell-type identification procedure from the prior work
 // the paper builds on (Section II-B): for every row, write all logical
 // zeros, disable refresh for a couple of retention windows, and read back.
@@ -42,7 +55,7 @@ func (p *ProbedTypes) TypeOf(rowIdx int) dram.CellType { return p.types[rowIdx] 
 // The probe is destructive and is intended to run once at boot on an empty
 // module. It probes chip 0, bank 0, which suffices because cell type is a
 // property of the row index across the rank.
-func Identify(m *dram.Module, start dram.Time) (*ProbedTypes, dram.Time) {
+func Identify(m CellProber, start dram.Time) (*ProbedTypes, dram.Time) {
 	cfg := m.Config()
 	types := make([]dram.CellType, cfg.RowsPerBank)
 	now := start
@@ -72,12 +85,15 @@ type NoisyTypes struct {
 }
 
 // NewNoisyTypes flips each of the rows' predictions independently with the
-// given probability.
+// given probability. The flip pattern comes from a SplitMix stream seeded
+// only by the caller's seed, so identification noise is reproducible
+// bit-for-bit across runs and shards — the property the determinism
+// analyzer guards.
 func NewNoisyTypes(inner CellTypeMap, rows int, errorRate float64, seed int64) *NoisyTypes {
-	rng := rand.New(rand.NewSource(seed))
+	prng := rng.NewSplitMix(rng.Hash(uint64(seed), 0x9015e))
 	n := &NoisyTypes{inner: inner, flipped: make(map[int]bool)}
 	for r := 0; r < rows; r++ {
-		if rng.Float64() < errorRate {
+		if prng.Float64() < errorRate {
 			n.flipped[r] = true
 		}
 	}

@@ -7,58 +7,21 @@
 // deterministic given a seed.
 package workload
 
-// SplitMix is a splitmix64 PRNG: tiny, fast, and — unlike math/rand —
-// trivially seedable from hashed coordinates so that any (page, line) pair
-// regenerates identical content in any order.
-type SplitMix struct{ state uint64 }
+import "zerorefresh/internal/rng"
+
+// SplitMix is the simulator-wide splitmix64 PRNG, re-exported from the leaf
+// package internal/rng so that content generators keep their historical
+// workload.SplitMix spelling while lower layers (which workload itself
+// depends on, e.g. internal/transform) can share the identical generator
+// without an import cycle.
+type SplitMix = rng.SplitMix
 
 // NewSplitMix seeds a generator.
-func NewSplitMix(seed uint64) *SplitMix { return &SplitMix{state: seed} }
-
-// Uint64 returns the next pseudo-random value.
-func (s *SplitMix) Uint64() uint64 {
-	s.state += 0x9e3779b97f4a7c15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// Intn returns a value in [0, n). n must be positive.
-func (s *SplitMix) Intn(n int) int {
-	if n <= 0 {
-		panic("workload: Intn needs positive n")
-	}
-	return int(s.Uint64() % uint64(n))
-}
-
-// Float64 returns a value in [0, 1).
-func (s *SplitMix) Float64() float64 {
-	return float64(s.Uint64()>>11) / (1 << 53)
-}
+func NewSplitMix(seed uint64) *SplitMix { return rng.NewSplitMix(seed) }
 
 // Hash mixes several coordinates into one 64-bit seed (Fowler–Noll–Vo over
 // the words, then a splitmix finalizer).
-func Hash(parts ...uint64) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for _, p := range parts {
-		for i := 0; i < 8; i++ {
-			h ^= (p >> (8 * i)) & 0xff
-			h *= 0x100000001b3
-		}
-	}
-	z := h + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+func Hash(parts ...uint64) uint64 { return rng.Hash(parts...) }
 
 // HashString folds a string into the coordinate space of Hash.
-func HashString(s string) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 0x100000001b3
-	}
-	return h
-}
+func HashString(s string) uint64 { return rng.HashString(s) }

@@ -26,7 +26,8 @@ func Traces() []TraceModel { return ostrace.Traces() }
 // TraceByName looks a trace model up by name.
 func TraceByName(name string) (TraceModel, bool) { return ostrace.ByName(name) }
 
-// NewAllocator builds a page allocator over totalPages pages.
-func NewAllocator(totalPages int, seed uint64) *Allocator {
-	return ostrace.NewAllocator(totalPages, seed)
+// NewAllocator builds a page allocator over totalPages pages. Placement is
+// deterministic (first-fit/LIFO), so no seed is needed.
+func NewAllocator(totalPages int) *Allocator {
+	return ostrace.NewAllocator(totalPages)
 }

@@ -62,7 +62,7 @@ func TestPublicSuiteAndTraces(t *testing.T) {
 	if _, ok := zerorefresh.TraceByName("google"); !ok {
 		t.Fatal("google trace missing")
 	}
-	a := zerorefresh.NewAllocator(100, 1)
+	a := zerorefresh.NewAllocator(100)
 	if err := a.SetTargetFraction(0.5); err != nil {
 		t.Fatal(err)
 	}
