@@ -324,6 +324,67 @@ func BenchmarkTransformPipeline(b *testing.B) {
 	}
 }
 
+// tracedSystem builds a small warmed system with the given tracer (nil
+// disables tracing) plus a 64-byte write payload.
+func tracedSystem(tb testing.TB, tr *zerorefresh.Tracer) (*zerorefresh.System, [64]byte) {
+	cfg := zerorefresh.DefaultConfig(4 << 20)
+	cfg.Trace = tr
+	sys, err := zerorefresh.NewSystem(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var data [64]byte
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	// Touch every target line once so lazily materialized row storage is
+	// allocated before measurement starts.
+	for i := 0; i < 1024; i++ {
+		if err := sys.Controller.WriteLine(uint64(i)*64, data, 0); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return sys, data
+}
+
+// BenchmarkTracerOverhead measures what event tracing costs the write
+// datapath (transform encode + controller writeback + DRAM charge
+// transitions): the same loop against the nil-sink fast path every emit
+// site guards on, and against an enabled ring tracer.
+func BenchmarkTracerOverhead(b *testing.B) {
+	run := func(tr *zerorefresh.Tracer) func(*testing.B) {
+		return func(b *testing.B) {
+			sys, data := tracedSystem(b, tr)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Controller.WriteLine(uint64(i%1024)*64, data, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("nil", run(nil))
+	b.Run("enabled", run(zerorefresh.NewTracer(1<<12)))
+}
+
+// TestTracerNilPathNoAllocs pins the zero-cost contract of disabled
+// tracing: with no tracer configured, the steady-state write datapath must
+// not allocate at all.
+func TestTracerNilPathNoAllocs(t *testing.T) {
+	sys, data := tracedSystem(t, nil)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := sys.Controller.WriteLine(uint64(i%1024)*64, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer write path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
 // BenchmarkRefreshWindow measures one full retention window of refresh
 // processing on an idle (fully skippable) rank.
 func BenchmarkRefreshWindow(b *testing.B) {

@@ -14,22 +14,32 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/metrics"
 	"strings"
 
+	"zerorefresh/internal/core"
 	"zerorefresh/internal/sim"
+	"zerorefresh/internal/trace"
 	"zerorefresh/internal/workload"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,metrics,all")
+		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,metrics,smoke,timeline,all")
 		capacity = flag.Int64("capacity", 32, "simulated rank capacity in MB")
 		windows  = flag.Int("windows", 8, "measured retention windows")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 23)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
-		format   = flag.String("format", "table", "output format: table or csv")
+		format   = flag.String("format", "table", "output format: table, csv or json")
+		jsonFlag = flag.Bool("json", false, "emit tables as machine-readable JSON (same as -format json)")
+		traceTo  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		metTo    = flag.String("metrics-out", "", "write the per-window metrics time-series to this file (.json for JSON, CSV otherwise)")
+		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+		rtDump   = flag.Bool("runtime-metrics", false, "dump Go runtime metrics to stderr after the run")
 	)
 	flag.Parse()
 
@@ -40,10 +50,22 @@ func main() {
 		return
 	}
 
+	if *pprofOn != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofOn, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "zrsim: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "zrsim: pprof serving on http://%s/debug/pprof/\n", *pprofOn)
+	}
+
 	o := sim.Options{
 		Capacity: *capacity << 20,
 		Windows:  *windows,
 		Seed:     *seed,
+	}
+	if *traceTo != "" {
+		o.Trace = trace.New(0)
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
@@ -56,9 +78,11 @@ func main() {
 	}
 
 	csvOut = *format == "csv"
+	jsonOut = *jsonFlag || *format == "json"
+	metricsOut = *metTo
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "compare", "cmdlevel", "power", "metrics"}
+		ids = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "compare", "cmdlevel", "power", "metrics", "smoke", "timeline"}
 	}
 	for _, id := range ids {
 		fmt.Fprintf(os.Stderr, "zrsim: running %s...\n", id)
@@ -66,16 +90,33 @@ func main() {
 			fail(err)
 		}
 	}
+	if *traceTo != "" {
+		if err := writeTrace(*traceTo, o.Trace); err != nil {
+			fail(err)
+		}
+	}
+	if *rtDump {
+		dumpRuntimeMetrics(os.Stderr)
+	}
 }
 
-var csvOut bool
+var (
+	csvOut  bool
+	jsonOut bool
+	// metricsOut is the -metrics-out path; the smoke/timeline experiments
+	// write their epoch time-series there.
+	metricsOut string
+)
 
 func emit(t *sim.Table) {
-	if csvOut {
+	switch {
+	case jsonOut:
+		fmt.Print(t.JSON())
+	case csvOut:
 		fmt.Print(t.CSV())
-		return
+	default:
+		fmt.Println(t)
 	}
-	fmt.Println(t)
 }
 
 func run(id string, o sim.Options) error {
@@ -110,6 +151,20 @@ func run(id string, o sim.Options) error {
 		return show(sim.RunPowerBreakdown(o))
 	case "metrics":
 		return show(sim.RunMetricsDump(o))
+	case "smoke":
+		t, epochs, err := sim.RunSmoke(o)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return writeTimeline(metricsOut, epochs)
+	case "timeline":
+		t, epochs, err := sim.RunTimeline(o)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return writeTimeline(metricsOut, epochs)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -122,6 +177,60 @@ func show(t *sim.Table, err error) error {
 	}
 	emit(t)
 	return nil
+}
+
+// writeTimeline writes the epoch time-series of a smoke/timeline run to
+// path (no-op when -metrics-out was not given). A .json suffix selects the
+// JSON exporter; anything else gets CSV.
+func writeTimeline(path string, epochs []core.Epoch) error {
+	if path == "" {
+		return nil
+	}
+	out := sim.TimelineCSV(epochs)
+	if strings.HasSuffix(path, ".json") {
+		out = sim.TimelineJSON(epochs)
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}
+
+// writeTrace exports the run's event trace as Chrome trace-event JSON.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := trace.WriteChrome(f, tr)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// dumpRuntimeMetrics prints every Go runtime metric the toolchain exposes,
+// one per line, for quick host-side profiling of large runs.
+func dumpRuntimeMetrics(w *os.File) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "%-60s %d\n", s.Name, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "%-60s %g\n", s.Name, s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			var n uint64
+			for _, c := range h.Counts {
+				n += c
+			}
+			fmt.Fprintf(w, "%-60s histogram, %d samples\n", s.Name, n)
+		}
+	}
 }
 
 func fail(err error) {

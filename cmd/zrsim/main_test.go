@@ -1,9 +1,12 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"zerorefresh/internal/sim"
+	"zerorefresh/internal/trace"
 	"zerorefresh/internal/workload"
 )
 
@@ -22,10 +25,49 @@ func TestRunDispatchesEveryExperiment(t *testing.T) {
 	for _, id := range []string{
 		"table1", "table2", "fig4", "fig5", "fig6",
 		"fig14", "fig15", "fig16", "fig17", "fig18",
-		"cmdlevel", "power",
+		"cmdlevel", "power", "smoke", "timeline",
 	} {
 		if err := run(id, o); err != nil {
 			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestWriteTimelineAndTraceExporters(t *testing.T) {
+	dir := t.TempDir()
+	o := quickOpts()
+	o.Trace = trace.New(1 << 8)
+	o.Timeline = true
+	_, epochs, err := sim.RunSmoke(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvPath := dir + "/m.csv"
+	jsonPath := dir + "/m.json"
+	tracePath := dir + "/t.json"
+	if err := writeTimeline(csvPath, epochs); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTimeline(jsonPath, epochs); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTimeline("", epochs); err != nil {
+		t.Fatalf("empty path must be a no-op, got %v", err)
+	}
+	if err := writeTrace(tracePath, o.Trace); err != nil {
+		t.Fatal(err)
+	}
+	for path, prefix := range map[string]string{
+		csvPath:   "window,start_ns",
+		jsonPath:  "[",
+		tracePath: `{"traceEvents":[`,
+	} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(b), prefix) {
+			t.Fatalf("%s: got prefix %q, want %q", path, string(b[:min(len(b), 40)]), prefix)
 		}
 	}
 }

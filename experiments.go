@@ -74,3 +74,20 @@ func RunCmdLevel(o ExperimentOptions) (*Table, error) { return sim.RunCmdLevelTa
 // RunPowerBreakdown is a diagnostic extension of Figure 4: the full DRAM
 // power budget per benchmark under conventional vs ZERO-REFRESH refresh.
 func RunPowerBreakdown(o ExperimentOptions) (*Table, error) { return sim.RunPowerBreakdown(o) }
+
+// RunSmoke runs the fixed-seed observability smoke scenario: one benchmark
+// end to end with epoch capture (and, when o.Trace is set, typed events
+// from every layer), plus a bank-queue replay that populates the
+// queue-latency histogram. Returns the unified metrics table and the
+// per-window epochs.
+func RunSmoke(o ExperimentOptions) (*Table, []Epoch, error) { return sim.RunSmoke(o) }
+
+// RunTimeline runs the smoke scenario and renders the per-window timeline
+// report (refresh work, skip rate, activity deltas).
+func RunTimeline(o ExperimentOptions) (*Table, []Epoch, error) { return sim.RunTimeline(o) }
+
+// TimelineCSV renders captured epochs as a deterministic CSV time-series.
+func TimelineCSV(epochs []Epoch) string { return sim.TimelineCSV(epochs) }
+
+// TimelineJSON renders captured epochs as a deterministic JSON array.
+func TimelineJSON(epochs []Epoch) string { return sim.TimelineJSON(epochs) }

@@ -16,10 +16,11 @@ import (
 //     declared slice of it — never by calling the concrete dram type
 //     directly. The composition root (internal/core) is exempt: it
 //     constructs the modules and wires them behind the interfaces.
-//  2. Only internal/metrics constructs Counter and Gauge values. Everyone
-//     else mints them through metrics.Registry, which is what guarantees a
-//     counter is named, registered, and visible in every snapshot; an
-//     orphan &metrics.Counter{} silently vanishes from the golden stats.
+//  2. Only internal/metrics constructs Counter, Gauge and Histogram
+//     values. Everyone else mints them through metrics.Registry, which is
+//     what guarantees a metric is named, registered, and visible in every
+//     snapshot; an orphan &metrics.Counter{} silently vanishes from the
+//     golden stats.
 type Layerpurity struct{}
 
 // Name implements Analyzer.
@@ -39,8 +40,9 @@ var dramMutators = map[string]bool{
 
 // metricValueTypes are the types only metrics.Registry may construct.
 var metricValueTypes = map[string]bool{
-	"Counter": true,
-	"Gauge":   true,
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
 }
 
 // Run implements Analyzer.
@@ -132,6 +134,6 @@ func (Layerpurity) checkMetricType(prog *Program, t types.Type, pos token.Pos, h
 		return
 	}
 	report(pos, fmt.Sprintf(
-		"metrics.%s %s; counters and gauges must be minted by metrics.Registry (Counter/Gauge) so they are named and snapshotted",
+		"metrics.%s %s; counters, gauges and histograms must be minted by metrics.Registry (Counter/Gauge/Histogram) so they are named and snapshotted",
 		obj.Name(), how))
 }

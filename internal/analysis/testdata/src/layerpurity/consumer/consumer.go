@@ -45,6 +45,23 @@ type holder struct {
 	bad  metrics.Gauge // want "declared by value"
 }
 
+func mintHistogram() *metrics.Histogram {
+	return &metrics.Histogram{} // want "constructed by composite literal"
+}
+
+func mintHistogramNew() *metrics.Histogram {
+	return new(metrics.Histogram) // want "constructed with new"
+}
+
+type histHolder struct {
+	good *metrics.Histogram
+	bad  metrics.Histogram // want "declared by value"
+}
+
 func sanctioned(r *metrics.Registry) *metrics.Counter {
 	return r.Counter("fills")
+}
+
+func sanctionedHistogram(r *metrics.Registry) *metrics.Histogram {
+	return r.Histogram("latency")
 }

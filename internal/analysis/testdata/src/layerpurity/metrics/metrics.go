@@ -10,9 +10,15 @@ type Gauge struct{ v float64 }
 
 func (g *Gauge) Set(v float64) { g.v = v }
 
+type Histogram struct{ buckets [65]int64 }
+
+func (h *Histogram) Observe(v int64) { h.buckets[0]++ }
+
 type Registry struct{ counters map[string]*Counter }
 
 func NewRegistry() *Registry { return &Registry{counters: make(map[string]*Counter)} }
+
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
 
 func (r *Registry) Counter(name string) *Counter {
 	c, ok := r.counters[name]

@@ -16,6 +16,7 @@ import (
 	"zerorefresh/internal/memctrl"
 	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/trace"
 	"zerorefresh/internal/transform"
 	"zerorefresh/internal/workload"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	SparedRowFraction float64
 	// Seed drives all stochastic choices.
 	Seed uint64
+	// Trace, when non-nil, receives typed events from every layer: each
+	// rank's module, refresh engine and controller emit into one shard
+	// per rank, the shared CPU-side pipeline into a "cpu" shard.
+	Trace *trace.Tracer
+	// Timeline enables epoch time-series capture: every RunWindow appends
+	// one Epoch (window stats + per-window metrics delta) to Timeline().
+	Timeline bool
 }
 
 // DefaultConfig is the full ZERO-REFRESH design at the given capacity,
@@ -129,6 +137,12 @@ type System struct {
 	// under "rankN/" plus the shared CPU-side pipeline under "cpu/".
 	metrics *metrics.Registry
 	windows *metrics.Counter
+
+	// timeline accumulates one Epoch per retention window when
+	// Config.Timeline is set; lastSnap is the snapshot at the previous
+	// window boundary, so each epoch's Delta covers exactly one window.
+	timeline []Epoch
+	lastSnap metrics.Snapshot
 }
 
 // NewSystem builds and wires a system.
@@ -178,6 +192,11 @@ func NewSystem(cfg Config) (*System, error) {
 	reg := metrics.NewRegistry()
 	sys := &System{Config: cfg, Pipeline: pipe, metrics: reg, windows: reg.Counter("core.windows")}
 	reg.Attach("cpu", pipe.Metrics())
+	if cfg.Trace != nil {
+		// Shard creation order fixes shard ids: "cpu" first, then the
+		// ranks in index order, so exports are stable across runs.
+		pipe.SetTracer(cfg.Trace.NewShard("cpu"))
+	}
 	for rank := 0; rank < cfg.Ranks; rank++ {
 		mod := dram.New(dcfg)
 		if cfg.SparedRowFraction > 0 {
@@ -190,6 +209,12 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		eng := refresh.NewEngine(mod, cfg.Refresh)
 		ctrl := memctrl.NewController(mod, eng, pipe, cfg.Mapping)
+		if cfg.Trace != nil {
+			shard := cfg.Trace.NewShard(fmt.Sprintf("rank%d", rank))
+			mod.SetTracer(shard)
+			eng.SetTracer(shard)
+			ctrl.SetTracer(shard)
+		}
 		sys.Ranks = append(sys.Ranks, RankUnit{
 			DRAM: mod, Engine: eng, Controller: ctrl,
 			Backend: mod, Policy: eng,
@@ -322,6 +347,17 @@ func (s *System) mergeWindow(perRank []refresh.CycleStats) refresh.CycleStats {
 	}
 	s.Clock = total.End
 	s.windows.Inc()
+	if s.Config.Timeline {
+		snap := s.MetricsSnapshot()
+		s.timeline = append(s.timeline, Epoch{
+			Window: len(s.timeline),
+			Start:  total.Start,
+			End:    total.End,
+			Stats:  total,
+			Delta:  snap.Delta(s.lastSnap),
+		})
+		s.lastSnap = snap
+	}
 	return total
 }
 

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
+	"zerorefresh/internal/refresh"
+)
+
+// Epoch is the time-series row captured at the end of one retention window
+// when Config.Timeline is enabled: the window's refresh summary plus the
+// metrics movement attributable to that window alone.
+type Epoch struct {
+	// Window is the zero-based window index since system construction.
+	Window int
+	// Start and End bound the window in simulation time.
+	Start, End dram.Time
+	// Stats is the merged refresh summary of the window across all ranks.
+	Stats refresh.CycleStats
+	// Delta is the system-wide metrics movement during the window:
+	// Snapshot(end) - Snapshot(previous end). Counters and histograms
+	// subtract; gauges carry their end-of-window value.
+	Delta metrics.Snapshot
+}
+
+// Timeline returns the epochs captured so far, oldest first. The returned
+// slice is shared with the system; callers must not mutate it while windows
+// are still being run.
+func (s *System) Timeline() []Epoch { return s.timeline }

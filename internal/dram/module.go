@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"zerorefresh/internal/metrics"
+	"zerorefresh/internal/trace"
 )
 
 // Stats counts the operations a Module has performed. All counters are
@@ -43,12 +44,16 @@ type Module struct {
 
 	// Operation counters live in a metrics registry so a sharded system
 	// can snapshot every rank's activity concurrently and uniformly.
-	reg         *metrics.Registry
-	activations *metrics.Counter
-	refreshes   *metrics.Counter
-	wordReads   *metrics.Counter
-	wordWrites  *metrics.Counter
-	decayEvents *metrics.Counter
+	reg          *metrics.Registry
+	activations  *metrics.Counter
+	refreshes    *metrics.Counter
+	wordReads    *metrics.Counter
+	wordWrites   *metrics.Counter
+	decayEvents  *metrics.Counter
+	refreshedAge *metrics.Histogram
+
+	// tr receives typed events when tracing is enabled; nil otherwise.
+	tr trace.Sink
 }
 
 // New constructs a Module. It panics if the configuration is invalid, as a
@@ -59,15 +64,16 @@ func New(cfg Config) *Module {
 	}
 	reg := metrics.NewRegistry()
 	m := &Module{
-		cfg:         cfg,
-		banks:       make([][]*row, cfg.Chips*cfg.Banks),
-		spared:      make(map[int]bool),
-		reg:         reg,
-		activations: reg.Counter("dram.activations"),
-		refreshes:   reg.Counter("dram.refreshes"),
-		wordReads:   reg.Counter("dram.word_reads"),
-		wordWrites:  reg.Counter("dram.word_writes"),
-		decayEvents: reg.Counter("dram.decay_events"),
+		cfg:          cfg,
+		banks:        make([][]*row, cfg.Chips*cfg.Banks),
+		spared:       make(map[int]bool),
+		reg:          reg,
+		activations:  reg.Counter("dram.activations"),
+		refreshes:    reg.Counter("dram.refreshes"),
+		wordReads:    reg.Counter("dram.word_reads"),
+		wordWrites:   reg.Counter("dram.word_writes"),
+		decayEvents:  reg.Counter("dram.decay_events"),
+		refreshedAge: reg.Histogram("dram.refresh_interval_ns"),
 	}
 	for i := range m.banks {
 		m.banks[i] = make([]*row, cfg.RowsPerBank)
@@ -77,6 +83,11 @@ func New(cfg Config) *Module {
 
 // Config returns the module geometry.
 func (m *Module) Config() Config { return m.cfg }
+
+// SetTracer installs the event sink the module emits charge-transition and
+// retention-violation events into. A nil sink (the default) disables
+// emission; the module must only be traced from its owning shard goroutine.
+func (m *Module) SetTracer(tr trace.Sink) { m.tr = tr }
 
 // Metrics returns the module's metrics registry, for attachment into a
 // system-wide registry.
@@ -136,17 +147,23 @@ func (m *Module) activate(chip, bank, rowIdx int, now Time) *row {
 		r = &row{lastRecharge: now}
 		b[rowIdx] = r
 	}
-	m.expire(r, now)
+	m.expire(r, chip, bank, rowIdx, now)
 	r.lastRecharge = now
 	m.activations.Inc()
 	return r
 }
 
 // expire applies retention loss to a row if its deadline has passed.
-func (m *Module) expire(r *row, now Time) {
+func (m *Module) expire(r *row, chip, bank, rowIdx int, now Time) {
 	if r.chargedWords > 0 && now-r.lastRecharge > m.cfg.Timing.TRET {
 		r.decay()
 		m.decayEvents.Inc()
+		if m.tr != nil {
+			m.tr.Emit(trace.Event{
+				Kind: trace.KindRetentionViolation, Time: int64(now),
+				Chip: int32(chip), Bank: int32(bank), Row: int32(rowIdx),
+			})
+		}
 	}
 }
 
@@ -158,8 +175,19 @@ func (m *Module) WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now Time) 
 		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.cfg.WordsPerChipRow()))
 	}
 	r := m.activate(chip, bank, rowIdx, now)
-	r.writeWord(wordIdx, v, m.cfg.WordsPerChipRow(), m.cfg.CellTypeOf(rowIdx))
+	before := r.discharged()
+	after := r.writeWord(wordIdx, v, m.cfg.WordsPerChipRow(), m.cfg.CellTypeOf(rowIdx))
 	m.wordWrites.Inc()
+	if m.tr != nil && before != after {
+		var a int64
+		if after {
+			a = 1
+		}
+		m.tr.Emit(trace.Event{
+			Kind: trace.KindChargeTransition, Time: int64(now),
+			Chip: int32(chip), Bank: int32(bank), Row: int32(rowIdx), A: a,
+		})
+	}
 }
 
 // ReadWord returns the logical 64-bit value of word slot wordIdx of the
@@ -189,7 +217,8 @@ func (m *Module) Refresh(chip, bank, rowIdx int, now Time) (discharged bool) {
 		m.refreshes.Inc()
 		return true
 	}
-	m.expire(r, now)
+	m.expire(r, chip, bank, rowIdx, now)
+	m.refreshedAge.Observe(int64(now - r.lastRecharge))
 	r.lastRecharge = now
 	m.refreshes.Inc()
 	return r.discharged()

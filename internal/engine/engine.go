@@ -9,8 +9,17 @@ package engine
 
 import (
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/trace"
 	"zerorefresh/internal/transform"
 )
+
+// Tracer is the event sink the hardware layers emit typed simulation events
+// into (see internal/trace for the event taxonomy). It is an alias rather
+// than a wrapper so that internal/dram — which sits below this package and
+// therefore names trace.Sink directly — and the layers above it share one
+// interface identity. Every layer treats a nil tracer as "tracing off": each
+// emission site is guarded by a single nil check and nothing else.
+type Tracer = trace.Sink
 
 // MemoryBackend is the row-granular hardware contract a refresh engine and
 // a memory-controller datapath need from a DRAM rank: word reads and

@@ -4,6 +4,7 @@ import (
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/engine"
 	"zerorefresh/internal/metrics"
+	"zerorefresh/internal/trace"
 	"zerorefresh/internal/transform"
 )
 
@@ -26,6 +27,9 @@ type Controller struct {
 	reg          *metrics.Registry
 	linesRead    *metrics.Counter
 	linesWritten *metrics.Counter
+
+	// tr receives writeback events when tracing is enabled; nil otherwise.
+	tr engine.Tracer
 }
 
 // NewController wires the datapath together. eng may be nil for a
@@ -46,6 +50,11 @@ func NewController(mod engine.MemoryBackend, eng engine.WriteNotifier, pipe engi
 		linesWritten: reg.Counter("ctrl.lines_written"),
 	}
 }
+
+// SetTracer installs the event sink the controller emits writeback events
+// into. A nil sink (the default) disables emission; the controller must
+// only be traced from its owning shard goroutine.
+func (c *Controller) SetTracer(tr engine.Tracer) { c.tr = tr }
 
 // AddressMap exposes the controller's address translation.
 func (c *Controller) AddressMap() AddressMap { return c.amap }
@@ -79,6 +88,13 @@ func (c *Controller) WriteLine(addr uint64, data [64]byte, now dram.Time) error 
 		c.eng.NoteWrite(loc.Bank, loc.Row)
 	}
 	c.linesWritten.Inc()
+	if c.tr != nil {
+		c.tr.Emit(trace.Event{
+			Kind: trace.KindWriteback, Time: int64(now),
+			Chip: -1, Bank: int32(loc.Bank), Row: int32(loc.Row),
+			A: int64(loc.Slot),
+		})
+	}
 	return nil
 }
 

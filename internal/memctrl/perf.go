@@ -68,6 +68,9 @@ type PerfConfig struct {
 	// HitService and MissService are the request service times.
 	HitService  dram.Time
 	MissService dram.Time
+	// LatencyHist, when non-nil, receives every request's end-to-end
+	// latency (finish - arrive, in nanoseconds) as an observation.
+	LatencyHist *metrics.Histogram
 }
 
 // DefaultPerfConfig derives service times from the DRAM timing parameters.
@@ -191,6 +194,9 @@ func SimulateBankQueues(cfg PerfConfig, reqs []Request, sched RefreshSchedule, h
 			res.Reads++
 		}
 		res.TotalLatency += start + svc - q.Arrive
+		if cfg.LatencyHist != nil {
+			cfg.LatencyHist.Observe(int64(start + svc - q.Arrive))
+		}
 	}
 	return res
 }

@@ -14,6 +14,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -47,6 +48,61 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Load returns the current value.
 func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// histogramBuckets is the number of power-of-two buckets: bucket 0 holds
+// observations <= 0, bucket k (1..64) holds observations v with
+// bits.Len64(v) == k, i.e. v in [2^(k-1), 2^k).
+const histogramBuckets = 65
+
+// Histogram is a distribution of int64 observations over power-of-two
+// buckets, safe for concurrent use: every bucket, the count and the sum
+// are independent atomics, so Observe is lock-free and a snapshot taken
+// while writers run is a valid (if slightly torn) capture — the same
+// contract counters have. The zero value is a valid empty histogram.
+//
+// Power-of-two bucketing keeps the type allocation-free and makes merges
+// exact: two histograms over the same quantity add bucket-wise, which is
+// what lets per-rank shards record disjoint distributions and the
+// deterministic merge fold them without loss.
+type Histogram struct {
+	buckets [histogramBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one observation. Negative values clamp to bucket 0.
+func (h *Histogram) Observe(v int64) {
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// sample captures the histogram's buckets trimmed to the highest non-zero
+// bucket (nil for an empty histogram).
+func (h *Histogram) sample() []int64 {
+	top := -1
+	var counts [histogramBuckets]int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			top = i
+		}
+	}
+	if top < 0 {
+		return nil
+	}
+	return append([]int64(nil), counts[:top+1]...)
+}
+
 // Kind distinguishes sample types in a snapshot.
 type Kind uint8
 
@@ -55,22 +111,73 @@ const (
 	KindCounter Kind = iota
 	// KindGauge marks a float gauge sample.
 	KindGauge
+	// KindHistogram marks a distribution sample: Int is the observation
+	// count, Sum the observation sum, Buckets the power-of-two bucket
+	// counts.
+	KindHistogram
 )
 
 // Sample is one named value in a Snapshot.
 type Sample struct {
 	Name  string
 	Kind  Kind
-	Int   int64   // counter value (KindCounter)
+	Int   int64   // counter value (KindCounter) or count (KindHistogram)
 	Float float64 // gauge value (KindGauge)
+	// Sum is the observation sum (KindHistogram only).
+	Sum int64
+	// Buckets are the power-of-two bucket counts, trimmed to the highest
+	// non-zero bucket (KindHistogram only). Bucket 0 holds v <= 0,
+	// bucket k holds v in [2^(k-1), 2^k).
+	Buckets []int64
 }
 
-// Value returns the sample as a float64 regardless of kind.
+// Value returns the sample as a float64 regardless of kind: counter value,
+// gauge value, or histogram observation count.
 func (s Sample) Value() float64 {
-	if s.Kind == KindCounter {
-		return float64(s.Int)
+	if s.Kind == KindGauge {
+		return s.Float
 	}
-	return s.Float
+	return float64(s.Int)
+}
+
+// Mean returns the mean observation of a histogram sample (0 when empty).
+func (s Sample) Mean() float64 {
+	if s.Int == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Int)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) of a
+// histogram sample: the inclusive upper edge of the bucket in which the
+// q-th observation falls. The answer is exact to within the power-of-two
+// bucket resolution and is computed with integer cumulation, so it is
+// deterministic.
+func (s Sample) Quantile(q float64) float64 {
+	if s.Kind != KindHistogram || s.Int == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Int))
+	if rank >= s.Int {
+		rank = s.Int - 1
+	}
+	var cum int64
+	for b, c := range s.Buckets {
+		cum += c
+		if cum > rank {
+			if b == 0 {
+				return 0
+			}
+			return float64(uint64(1)<<b - 1)
+		}
+	}
+	return 0
 }
 
 // Registry is a named collection of counters and gauges plus attached child
@@ -78,11 +185,12 @@ func (s Sample) Value() float64 {
 // existing metric for a known name) and safe for concurrent use; updates to
 // the returned metrics are lock-free.
 type Registry struct {
-	mu       sync.RWMutex
-	order    []string
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	children []child
+	mu         sync.RWMutex
+	order      []string
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	children   []child
 }
 
 type child struct {
@@ -93,22 +201,39 @@ type child struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// checkFree panics if name is already registered as a different kind.
+// Callers hold r.mu.
+func (r *Registry) checkFree(name, want string) {
+	kinds := []struct {
+		kind string
+		used bool
+	}{
+		{"counter", r.counters[name] != nil},
+		{"gauge", r.gauges[name] != nil},
+		{"histogram", r.histograms[name] != nil},
+	}
+	for _, k := range kinds {
+		if k.used && k.kind != want {
+			panic(fmt.Sprintf("metrics: %q already registered as a %s", name, k.kind))
+		}
 	}
 }
 
 // Counter returns the counter with the given name, creating it on first
-// use. It panics if the name is already a gauge.
+// use. It panics if the name is already a gauge or histogram.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
-	if _, ok := r.gauges[name]; ok {
-		panic(fmt.Sprintf("metrics: %q already registered as a gauge", name))
-	}
+	r.checkFree(name, "counter")
 	c := &Counter{}
 	r.counters[name] = c
 	r.order = append(r.order, name)
@@ -116,20 +241,33 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns the gauge with the given name, creating it on first use.
-// It panics if the name is already a counter.
+// It panics if the name is already a counter or histogram.
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
-	if _, ok := r.counters[name]; ok {
-		panic(fmt.Sprintf("metrics: %q already registered as a counter", name))
-	}
+	r.checkFree(name, "gauge")
 	g := &Gauge{}
 	r.gauges[name] = g
 	r.order = append(r.order, name)
 	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use. It panics if the name is already a counter or gauge.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.checkFree(name, "histogram")
+	h := &Histogram{}
+	r.histograms[name] = h
+	r.order = append(r.order, name)
+	return h
 }
 
 // Attach mounts a child registry under a label prefix: its samples appear
@@ -169,14 +307,25 @@ func (r *Registry) appendTo(snap *Snapshot, prefix string) {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
 	r.mu.RUnlock()
 
 	for _, name := range order {
-		if c, ok := counters[name]; ok {
-			snap.Samples = append(snap.Samples, Sample{Name: prefix + name, Kind: KindCounter, Int: c.Load()})
-			continue
+		switch {
+		case counters[name] != nil:
+			snap.Samples = append(snap.Samples, Sample{Name: prefix + name, Kind: KindCounter, Int: counters[name].Load()})
+		case gauges[name] != nil:
+			snap.Samples = append(snap.Samples, Sample{Name: prefix + name, Kind: KindGauge, Float: gauges[name].Load()})
+		default:
+			h := histograms[name]
+			snap.Samples = append(snap.Samples, Sample{
+				Name: prefix + name, Kind: KindHistogram,
+				Int: h.Count(), Sum: h.Sum(), Buckets: h.sample(),
+			})
 		}
-		snap.Samples = append(snap.Samples, Sample{Name: prefix + name, Kind: KindGauge, Float: gauges[name].Load()})
 	}
 	for _, ch := range children {
 		ch.reg.appendTo(snap, prefix+ch.prefix+"/")
@@ -204,8 +353,9 @@ func (s Snapshot) Counter(name string) int64 {
 	return smp.Int
 }
 
-// Delta returns s - prev per sample: counters subtract, gauges keep the
-// value from s. Samples missing from prev are treated as starting at zero.
+// Delta returns s - prev per sample: counters and histograms subtract
+// (histograms count- sum- and bucket-wise), gauges keep the value from s.
+// Samples missing from prev are treated as starting at zero.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	old := make(map[string]Sample, len(prev.Samples))
 	for _, smp := range prev.Samples {
@@ -214,12 +364,70 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	out := Snapshot{Samples: make([]Sample, 0, len(s.Samples))}
 	for _, smp := range s.Samples {
 		d := smp
-		if p, ok := old[smp.Name]; ok && smp.Kind == KindCounter {
-			d.Int -= p.Int
+		if p, ok := old[smp.Name]; ok {
+			switch smp.Kind {
+			case KindCounter:
+				d.Int -= p.Int
+			case KindHistogram:
+				d.Int -= p.Int
+				d.Sum -= p.Sum
+				d.Buckets = subBuckets(smp.Buckets, p.Buckets)
+			}
 		}
 		out.Samples = append(out.Samples, d)
 	}
 	return out
+}
+
+// subBuckets returns a - b element-wise, trimmed to the highest non-zero
+// bucket (nil when all zero).
+func subBuckets(a, b []int64) []int64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int64, n)
+	top := -1
+	for i := 0; i < n; i++ {
+		if i < len(a) {
+			out[i] += a[i]
+		}
+		if i < len(b) {
+			out[i] -= b[i]
+		}
+		if out[i] != 0 {
+			top = i
+		}
+	}
+	if top < 0 {
+		return nil
+	}
+	return out[:top+1]
+}
+
+// addBuckets returns a + b element-wise, trimmed like subBuckets.
+func addBuckets(a, b []int64) []int64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int64, n)
+	top := -1
+	for i := 0; i < n; i++ {
+		if i < len(a) {
+			out[i] += a[i]
+		}
+		if i < len(b) {
+			out[i] += b[i]
+		}
+		if out[i] != 0 {
+			top = i
+		}
+	}
+	if top < 0 {
+		return nil
+	}
+	return out[:top+1]
 }
 
 // Equal reports whether two snapshots carry identical samples in identical
@@ -231,8 +439,14 @@ func (s Snapshot) Equal(o Snapshot) bool {
 	for i, a := range s.Samples {
 		b := o.Samples[i]
 		if a.Name != b.Name || a.Kind != b.Kind || a.Int != b.Int ||
-			math.Float64bits(a.Float) != math.Float64bits(b.Float) {
+			math.Float64bits(a.Float) != math.Float64bits(b.Float) ||
+			a.Sum != b.Sum || len(a.Buckets) != len(b.Buckets) {
 			return false
+		}
+		for j := range a.Buckets {
+			if a.Buckets[j] != b.Buckets[j] {
+				return false
+			}
 		}
 	}
 	return true
@@ -254,9 +468,14 @@ func Merge(snaps []Snapshot, stripPrefixes []string) Snapshot {
 				name = strings.TrimPrefix(name, stripPrefixes[i])
 			}
 			if prev, ok := sum[name]; ok {
-				if smp.Kind == KindCounter {
+				switch smp.Kind {
+				case KindCounter:
 					prev.Int += smp.Int
-				} else {
+				case KindHistogram:
+					prev.Int += smp.Int
+					prev.Sum += smp.Sum
+					prev.Buckets = addBuckets(prev.Buckets, smp.Buckets)
+				default:
 					prev.Float = smp.Float
 				}
 				sum[name] = prev
@@ -285,9 +504,13 @@ func (s Snapshot) String() string {
 		}
 	}
 	for _, smp := range s.Samples {
-		if smp.Kind == KindCounter {
+		switch smp.Kind {
+		case KindCounter:
 			fmt.Fprintf(&b, "%-*s %d\n", w+2, smp.Name, smp.Int)
-		} else {
+		case KindHistogram:
+			fmt.Fprintf(&b, "%-*s count=%d sum=%d p50<=%g p99<=%g\n",
+				w+2, smp.Name, smp.Int, smp.Sum, smp.Quantile(0.50), smp.Quantile(0.99))
+		default:
 			fmt.Fprintf(&b, "%-*s %.6g\n", w+2, smp.Name, smp.Float)
 		}
 	}

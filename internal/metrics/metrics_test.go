@@ -120,6 +120,108 @@ func TestMergeFoldsShards(t *testing.T) {
 	}
 }
 
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{-3, 0, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1007 {
+		t.Fatalf("sum = %d, want 1007", h.Sum())
+	}
+	smp, ok := r.Snapshot().Get("lat")
+	if !ok || smp.Kind != KindHistogram {
+		t.Fatalf("histogram sample missing: %+v", smp)
+	}
+	// -3,0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4 -> bucket 3;
+	// 1000 -> bucket 10 ([512,1024)).
+	want := []int64{2, 1, 2, 1, 0, 0, 0, 0, 0, 0, 1}
+	if len(smp.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", smp.Buckets, want)
+	}
+	for i := range want {
+		if smp.Buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", smp.Buckets, want)
+		}
+	}
+	if got := smp.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %g, want 3 (upper edge of [2,4))", got)
+	}
+	if got := smp.Quantile(1); got != 1023 {
+		t.Fatalf("p100 = %g, want 1023 (upper edge of [512,1024))", got)
+	}
+	if got := smp.Mean(); got != 1007.0/7 {
+		t.Fatalf("mean = %g, want %g", got, 1007.0/7)
+	}
+}
+
+func TestHistogramDeltaAndMerge(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(1)
+	h.Observe(100)
+	s1 := r.Snapshot()
+	h.Observe(100)
+	h.Observe(5)
+	s2 := r.Snapshot()
+
+	d := s2.Delta(s1)
+	smp, _ := d.Get("lat")
+	if smp.Int != 2 || smp.Sum != 105 {
+		t.Fatalf("delta = count %d sum %d, want 2/105", smp.Int, smp.Sum)
+	}
+	// Window delta holds exactly 5 (bucket 3) and 100 (bucket 7).
+	want := []int64{0, 0, 0, 1, 0, 0, 0, 1}
+	if len(smp.Buckets) != len(want) {
+		t.Fatalf("delta buckets = %v, want %v", smp.Buckets, want)
+	}
+	for i := range want {
+		if smp.Buckets[i] != want[i] {
+			t.Fatalf("delta buckets = %v, want %v", smp.Buckets, want)
+		}
+	}
+
+	// Merging two per-rank snapshots folds histograms bucket-wise.
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("lat").Observe(1)
+	b.Histogram("lat").Observe(1)
+	b.Histogram("lat").Observe(64)
+	m := Merge([]Snapshot{a.Snapshot(), b.Snapshot()}, nil)
+	ms, _ := m.Get("lat")
+	if ms.Int != 3 || ms.Sum != 66 {
+		t.Fatalf("merge = count %d sum %d, want 3/66", ms.Int, ms.Sum)
+	}
+	if ms.Buckets[1] != 2 || ms.Buckets[7] != 1 {
+		t.Fatalf("merge buckets = %v", ms.Buckets)
+	}
+}
+
+func TestHistogramEqualDetectsBucketDrift(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	// Same count and sum, different distribution: 2+2 vs 1+3.
+	a.Histogram("x").Observe(2)
+	a.Histogram("x").Observe(2)
+	b.Histogram("x").Observe(1)
+	b.Histogram("x").Observe(3)
+	if a.Snapshot().Equal(b.Snapshot()) {
+		t.Fatal("Equal missed a bucket-level divergence")
+	}
+}
+
+func TestHistogramKindChecked(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Histogram on a counter name should panic")
+		}
+	}()
+	r.Histogram("x")
+}
+
 func TestEqual(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a").Add(1)

@@ -3,6 +3,7 @@ package refresh
 import (
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/engine"
+	"zerorefresh/internal/trace"
 )
 
 // CycleStats summarizes one full retention window of refresh activity
@@ -113,6 +114,13 @@ func (e *Engine) RunCycle(start dram.Time) CycleStats {
 	stats.TableRows = int64(e.StatusTableRows())
 	e.tableRowRefreshes.Add(stats.TableRows)
 	stats.End = start + e.mod.Config().Timing.TRET
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindWindowRollover, Time: int64(stats.End),
+			Chip: -1, Bank: -1, Row: -1,
+			A: stats.Refreshed, B: stats.Skipped,
+		})
+	}
 	return stats
 }
 

@@ -12,6 +12,7 @@ import (
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/engine"
 	"zerorefresh/internal/metrics"
+	"zerorefresh/internal/trace"
 )
 
 // Config selects the refresh engine behaviour. The zero value is a
@@ -110,6 +111,10 @@ type Engine struct {
 	// recent AR of that set refreshed — the per-command busy profile the
 	// performance model replays.
 	lastSetRefreshed [][]int
+	// skipRun counts, per (bank, step), the consecutive retention windows
+	// the step has been skipped; a refresh terminates the run and feeds
+	// its length into the discharged-run-length histogram.
+	skipRun [][]int32
 
 	// Activity counters live in a metrics registry so a sharded system
 	// can snapshot every rank's engine concurrently and uniformly.
@@ -122,6 +127,11 @@ type Engine struct {
 	statusWrites      *metrics.Counter
 	fullySkippedARs   *metrics.Counter
 	tableRowRefreshes *metrics.Counter
+	dischargedRunLen  *metrics.Histogram
+
+	// tr receives typed refresh events when tracing is enabled; nil
+	// otherwise.
+	tr engine.Tracer
 }
 
 // Stats accumulates engine activity across cycles. It is a point-in-time
@@ -172,6 +182,7 @@ func NewEngine(m engine.MemoryBackend, cfg Config) *Engine {
 		statusWrites:      reg.Counter("refresh.status_writes"),
 		fullySkippedARs:   reg.Counter("refresh.fully_skipped_ars"),
 		tableRowRefreshes: reg.Counter("refresh.table_row_refreshes"),
+		dischargedRunLen:  reg.Histogram("refresh.discharged_run_len"),
 	}
 	if dcfg.Chips > 16 {
 		panic("refresh: at most 16 chips supported by the status mask")
@@ -180,7 +191,9 @@ func NewEngine(m engine.MemoryBackend, cfg Config) *Engine {
 	e.accessBits = make([][]bool, e.banks)
 	e.status = make([][]uint16, e.banks)
 	e.lastSetRefreshed = make([][]int, e.banks)
+	e.skipRun = make([][]int32, e.banks)
 	for b := 0; b < e.banks; b++ {
+		e.skipRun[b] = make([]int32, e.rowsPerBank)
 		e.accessBits[b] = make([]bool, e.numARs)
 		for i := range e.accessBits[b] {
 			e.accessBits[b][i] = true // force a learning refresh first
@@ -204,6 +217,11 @@ func (e *Engine) SetRefreshedCounts() [][]int {
 	}
 	return out
 }
+
+// SetTracer installs the event sink the engine emits per-step refresh
+// events into. A nil sink (the default) disables emission; the engine must
+// only be traced from its owning shard goroutine.
+func (e *Engine) SetTracer(tr engine.Tracer) { e.tr = tr }
 
 // Config returns the engine configuration (with defaults resolved).
 func (e *Engine) Config() Config { return e.cfg }
@@ -276,6 +294,37 @@ func (e *Engine) refreshStep(bank, n int, now dram.Time) uint16 {
 	return mask
 }
 
+// noteSkip records one skipped step: its consecutive-skip run grows and the
+// event stream (when enabled) sees the step with its current run length.
+func (e *Engine) noteSkip(bank, n int, now dram.Time) {
+	e.skipRun[bank][n]++
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindRefreshSkipped, Time: int64(now),
+			Chip: -1, Bank: int32(bank), Row: int32(n),
+			A: int64(e.skipRun[bank][n]),
+		})
+	}
+}
+
+// noteRefresh records one refreshed step, terminating any consecutive-skip
+// run the step had accumulated; the run length feeds the
+// discharged-run-length histogram.
+func (e *Engine) noteRefresh(bank, n, chipRows int, now dram.Time) {
+	run := e.skipRun[bank][n]
+	if run > 0 {
+		e.dischargedRunLen.Observe(int64(run))
+		e.skipRun[bank][n] = 0
+	}
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{
+			Kind: trace.KindRefreshIssued, Time: int64(now),
+			Chip: -1, Bank: int32(bank), Row: int32(n),
+			A: int64(chipRows), B: int64(run),
+		})
+	}
+}
+
 // AutoRefreshSet executes one auto-refresh command for the given AR set of
 // one bank (Section IV-B):
 //
@@ -294,6 +343,7 @@ func (e *Engine) AutoRefreshSet(bank, set int, now dram.Time) ARResult {
 	if e.accessBits[bank][set] {
 		for n := first; n < first+e.cfg.RowsPerAR; n++ {
 			e.status[bank][n] = e.refreshStep(bank, n, now)
+			e.noteRefresh(bank, n, e.chips, now)
 			res.Refreshed++
 			res.ChipRefreshed += e.chips
 		}
@@ -325,17 +375,21 @@ func (e *Engine) AutoRefreshSet(bank, set int, now dram.Time) ARResult {
 				res.ChipRefreshed += refreshed
 				if refreshed == 0 {
 					res.Skipped++
+					e.noteSkip(bank, n, now)
 				} else {
 					res.Refreshed++
+					e.noteRefresh(bank, n, refreshed, now)
 				}
 			case e.cfg.Skip && mask == e.fullMask:
 				// Rank-synchronous skip: the whole diagonal group.
 				res.Skipped++
 				res.ChipSkipped += e.chips
+				e.noteSkip(bank, n, now)
 			default:
 				// Refresh normally; the status cannot have improved
 				// without a write, so no table update is needed.
 				e.refreshStep(bank, n, now)
+				e.noteRefresh(bank, n, e.chips, now)
 				res.Refreshed++
 				res.ChipRefreshed += e.chips
 			}

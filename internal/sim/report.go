@@ -7,6 +7,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 
 	"zerorefresh/internal/metrics"
@@ -129,6 +131,15 @@ func (t *Table) String() string {
 func MetricsTable(title string, snap metrics.Snapshot) *Table {
 	t := &Table{Title: title, Columns: []string{"value"}}
 	for _, smp := range snap.Sorted().Samples {
+		if smp.Kind == metrics.KindHistogram {
+			// Distributions expand into their summary statistics so the
+			// one-column format holds.
+			t.AddRow(smp.Name+".count", float64(smp.Int))
+			t.AddRow(smp.Name+".mean", smp.Mean())
+			t.AddRow(smp.Name+".p50", smp.Quantile(0.50))
+			t.AddRow(smp.Name+".p99", smp.Quantile(0.99))
+			continue
+		}
 		t.AddRow(smp.Name, smp.Value())
 	}
 	return t
@@ -158,4 +169,77 @@ func csvEscape(s string) string {
 		return s
 	}
 	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// JSON renders the table as a deterministic JSON document for scripts:
+// fields appear in a fixed order and floats use Go's shortest round-trip
+// formatting, so the same table always serializes to the same bytes.
+func (t *Table) JSON() string {
+	var b strings.Builder
+	b.WriteString("{\"title\":")
+	b.WriteString(jsonString(t.Title))
+	b.WriteString(",\"columns\":[")
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(jsonString(c))
+	}
+	b.WriteString("],\"rows\":[")
+	for i, r := range t.Rows {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("{\"name\":")
+		b.WriteString(jsonString(r.Name))
+		b.WriteString(",\"values\":[")
+		for j, v := range r.Values {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(jsonFloat(v))
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("],\"note\":")
+	b.WriteString(jsonString(t.Note))
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonString quotes s as a JSON string with only the escapes JSON defines.
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// jsonFloat formats v as a JSON number. JSON has no NaN/Inf; they render
+// as null, which unmarshals to a zero float.
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -8,6 +8,7 @@ import (
 	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/ostrace"
 	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/trace"
 	"zerorefresh/internal/transform"
 	"zerorefresh/internal/workload"
 )
@@ -45,6 +46,12 @@ type Options struct {
 	SparedRowFraction float64
 	// Benchmarks restricts the suite; nil runs all 23.
 	Benchmarks []workload.Profile
+	// Trace, when non-nil, receives typed events from every layer of the
+	// simulated system (see internal/trace).
+	Trace *trace.Tracer
+	// Timeline enables per-window epoch capture; runs report it via
+	// ScenarioResult.Timeline.
+	Timeline bool
 }
 
 // withDefaults fills unset fields.
@@ -88,6 +95,8 @@ func (o Options) coreConfig(extended bool) core.Config {
 	if o.Mapping != nil {
 		cfg.Mapping = o.Mapping
 	}
+	cfg.Trace = o.Trace
+	cfg.Timeline = o.Timeline
 	return cfg
 }
 
@@ -113,6 +122,9 @@ type ScenarioResult struct {
 	// DRAM/refresh/controller counters, the shared transform pipeline,
 	// and the derived energy gauges. Render it with MetricsTable.
 	Metrics metrics.Snapshot
+	// Timeline holds the per-window epochs when Options.Timeline was set
+	// (warmup windows included — it is the full run's time-series).
+	Timeline []core.Epoch
 }
 
 // RunScenario runs one benchmark under one memory-allocation fraction
@@ -187,6 +199,7 @@ func runScenario(o Options, prof workload.Profile, allocFrac float64, extended b
 	model.Record(ereg, res.Cycles, res.EBDIOps)
 	sys.Metrics().Attach("energy", ereg)
 	res.Metrics = sys.MetricsSnapshot()
+	res.Timeline = sys.Timeline()
 	res.Decays = sys.DecayEvents()
 	if res.Decays != 0 {
 		return res, fmt.Errorf("sim: %d retention failures under %s", res.Decays, prof.Name)

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event exporter. The output is the JSON Object Format of the
+// Trace Event specification, loadable by chrome://tracing and Perfetto:
+// one instant event per simulation event, with the shard as the thread
+// (tid) and thread_name metadata naming it "cpu"/"rank0"/....
+//
+// The writer is hand-rolled rather than encoding/json so the byte stream
+// is fully deterministic: fields appear in a fixed order and timestamps
+// are formatted with integer arithmetic (ts is microseconds; simulation
+// time is nanoseconds, so ts carries three fixed decimals).
+
+// WriteChrome writes every event currently held by the tracer, in the
+// deterministic merged order of Tracer.Events.
+func WriteChrome(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	for _, s := range t.Shards() {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := fmt.Fprintf(bw,
+			`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%q}}`,
+			s.id, s.label); err != nil {
+			return err
+		}
+	}
+	for _, e := range t.Events() {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := fmt.Fprintf(bw,
+			`{"name":%q,"ph":"i","s":"t","pid":0,"tid":%d,"ts":%d.%03d,"args":{"chip":%d,"bank":%d,"row":%d,"a":%d,"b":%d,"seq":%d}}`,
+			e.Kind.String(), e.Shard, e.Time/1000, e.Time%1000,
+			e.Chip, e.Bank, e.Row, e.A, e.B, e.Seq); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw,
+		"\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d}}\n",
+		t.Dropped()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestShardRingKeepsNewest(t *testing.T) {
+	tr := New(4)
+	s := tr.NewShard("rank0")
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{Kind: KindRefreshIssued, Time: int64(i)})
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", s.Dropped())
+	}
+	evs := s.Events()
+	for i, e := range evs {
+		if want := int64(6 + i); e.Time != want {
+			t.Fatalf("event %d time = %d, want %d (oldest-first, newest kept)", i, e.Time, want)
+		}
+		if e.Shard != 0 {
+			t.Fatalf("event %d shard = %d, want 0", i, e.Shard)
+		}
+	}
+	if evs[0].Seq != 6 {
+		t.Fatalf("first kept seq = %d, want 6", evs[0].Seq)
+	}
+}
+
+func TestEventsMergeDeterministic(t *testing.T) {
+	// Two shards with interleaved timestamps plus a timestamp tie: the
+	// merged order must be (Time, Shard, Seq).
+	tr := New(16)
+	a := tr.NewShard("rank0")
+	b := tr.NewShard("rank1")
+	b.Emit(Event{Kind: KindWriteback, Time: 5})
+	a.Emit(Event{Kind: KindRefreshIssued, Time: 5})
+	a.Emit(Event{Kind: KindRefreshSkipped, Time: 2})
+	b.Emit(Event{Kind: KindWindowRollover, Time: 9})
+
+	got := tr.Events()
+	want := []struct {
+		kind  Kind
+		shard int32
+	}{
+		{KindRefreshSkipped, 0},
+		{KindRefreshIssued, 0}, // ts tie at 5: shard 0 before shard 1
+		{KindWriteback, 1},
+		{KindWindowRollover, 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Kind != w.kind || got[i].Shard != w.shard {
+			t.Fatalf("event %d = %v/%d, want %v/%d", i, got[i].Kind, got[i].Shard, w.kind, w.shard)
+		}
+	}
+}
+
+func TestConcurrentShardsAreSafe(t *testing.T) {
+	// One goroutine per shard, as the rank-sharded system emits.
+	tr := New(1024)
+	const shards, events = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		s := tr.NewShard("rank")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < events; j++ {
+				s.Emit(Event{Kind: KindRefreshIssued, Time: int64(j)})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != shards*events {
+		t.Fatalf("merged %d events, want %d", got, shards*events)
+	}
+}
+
+func TestWriteChromeIsValidJSONAndDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := New(8)
+		s := tr.NewShard("cpu")
+		r := tr.NewShard("rank0")
+		s.Emit(Event{Kind: KindCodecSelect, Row: 3, A: CodecEBDI | CodecInverted, B: 5})
+		r.Emit(Event{Kind: KindRefreshSkipped, Time: 123456, Bank: 1, Row: 7, A: 2, Chip: -1})
+		r.Emit(Event{Kind: KindRetentionViolation, Time: 999, Chip: 2, Bank: 0, Row: 4})
+		return tr
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteChrome(&b1, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b2, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("chrome export not bit-identical across identical tracers")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   struct {
+			Dropped uint64 `json:"dropped"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(b1.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v\n%s", err, b1.String())
+	}
+	// 2 thread_name metadata records + 3 events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("traceEvents = %d records, want 5", len(doc.TraceEvents))
+	}
+	if !strings.Contains(b1.String(), `"ts":123.456`) {
+		t.Fatalf("ns->us timestamp formatting missing from:\n%s", b1.String())
+	}
+	if !strings.Contains(b1.String(), `"refresh.skipped"`) {
+		t.Fatal("kind name missing from export")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must render as unknown")
+	}
+}

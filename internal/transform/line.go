@@ -48,6 +48,19 @@ func (l Line) Invert() Line {
 	return out
 }
 
+// ZeroWords returns the number of words of the line that are entirely
+// zero, in any position — the codec's win for the line, since zero words
+// store as fully discharged chip-row words.
+func (l Line) ZeroWords() int {
+	n := 0
+	for _, w := range l {
+		if w == 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // ZeroTailWords returns the number of trailing words of the line that are
 // entirely zero. After the EBDI and bit-plane stages this is the number of
 // word classes eligible to join fully discharged rows on true-cell rows.

@@ -3,6 +3,7 @@ package transform
 import (
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/metrics"
+	"zerorefresh/internal/trace"
 )
 
 // Options selects which transformation stages are active. The zero value
@@ -39,8 +40,15 @@ type Pipeline struct {
 	// metrics counter: with per-rank shards encoding concurrently
 	// through the one shared CPU-side pipeline, a plain increment would
 	// race (and lose energy accounting).
-	reg *metrics.Registry
-	ops *metrics.Counter
+	reg       *metrics.Registry
+	ops       *metrics.Counter
+	zeroWords *metrics.Histogram
+
+	// tr receives codec-selection events when tracing is enabled; nil
+	// otherwise. Encode has no DRAM timestamp, so the events carry Time 0
+	// and order by emission sequence — which is deterministic as long as
+	// the sink shard is only written from the sequential CPU-side driver.
+	tr trace.Sink
 }
 
 // NewPipeline builds a pipeline. types supplies the (possibly imperfect)
@@ -50,8 +58,18 @@ func NewPipeline(opts Options, types CellTypeMap) *Pipeline {
 		panic("transform: nil cell-type map")
 	}
 	reg := metrics.NewRegistry()
-	return &Pipeline{opts: opts, types: types, reg: reg, ops: reg.Counter("transform.ops")}
+	return &Pipeline{
+		opts: opts, types: types, reg: reg,
+		ops:       reg.Counter("transform.ops"),
+		zeroWords: reg.Histogram("transform.zero_words"),
+	}
 }
+
+// SetTracer installs the event sink the pipeline emits codec-selection
+// events into. A nil sink (the default) disables emission. The sink must
+// not be shared with concurrently running shards if deterministic event
+// order is required.
+func (p *Pipeline) SetTracer(tr trace.Sink) { p.tr = tr }
 
 // Options returns the pipeline configuration.
 func (p *Pipeline) Options() Options { return p.opts }
@@ -66,14 +84,30 @@ func (p *Pipeline) Ops() int64 { return p.ops.Load() }
 // Encode transforms a cacheline for storage in the rank-level row rowIdx.
 func (p *Pipeline) Encode(l Line, rowIdx int) Line {
 	p.ops.Inc()
+	var stages int64
 	if p.opts.EBDI {
 		l = EBDIEncode(l)
+		stages |= trace.CodecEBDI
 	}
 	if p.opts.BitPlane {
 		l = BitPlaneTranspose(l)
+		stages |= trace.CodecBitPlane
 	}
+	// Count the win before the cell-aware inversion: a zero word here
+	// stores as the discharged pattern either way (inverted rows store it
+	// as all-ones, which is discharged for anti-cells).
+	zeros := int64(l.ZeroWords())
 	if p.opts.CellAware && p.types.TypeOf(rowIdx) == dram.AntiCell {
 		l = l.Invert()
+		stages |= trace.CodecInverted
+	}
+	p.zeroWords.Observe(zeros)
+	if p.tr != nil {
+		p.tr.Emit(trace.Event{
+			Kind: trace.KindCodecSelect,
+			Chip: -1, Bank: -1, Row: int32(rowIdx),
+			A: stages, B: zeros,
+		})
 	}
 	return l
 }

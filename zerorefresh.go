@@ -32,9 +32,12 @@
 package zerorefresh
 
 import (
+	"io"
+
 	"zerorefresh/internal/core"
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/trace"
 	"zerorefresh/internal/transform"
 	"zerorefresh/internal/workload"
 )
@@ -120,6 +123,27 @@ const (
 	TRETNormal   = dram.TRETNormal
 	TRETExtended = dram.TRETExtended
 )
+
+// Observability (internal/trace, internal/core): typed event tracing and
+// per-window time-series capture.
+type (
+	// Tracer collects typed simulation events in per-shard lock-light
+	// rings; set Config.Trace (or ExperimentOptions.Trace) to enable it.
+	Tracer = trace.Tracer
+	// TraceEvent is one typed simulation event.
+	TraceEvent = trace.Event
+	// Epoch is one retention window's refresh stats plus the metrics
+	// delta accumulated during it.
+	Epoch = core.Epoch
+)
+
+// NewTracer returns a tracer whose shards hold the newest shardCap events
+// each (0 selects the default capacity).
+func NewTracer(shardCap int) *Tracer { return trace.New(shardCap) }
+
+// WriteChromeTrace exports a tracer's merged events as Chrome trace-event
+// JSON, loadable in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, t *Tracer) error { return trace.WriteChrome(w, t) }
 
 // ExecutionDriver runs a core's access stream through an L1/L2 hierarchy
 // into the system's memory datapath with real, continuously verified
