@@ -13,10 +13,13 @@
 #   make bench   - regenerate the paper's evaluation via the benchmark
 #                  harness (slow; minutes).
 #   make race    - just the race-sensitive packages, under -race.
+#   make perfbench - regenerate BENCH_5.json, the tracked hot-path
+#                  microbenchmark baseline (cmd/zrbench): the
+#                  scalar-vs-batched datapath pairs and transform kernels.
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench
+.PHONY: check vet lint build test race bench perfbench
 
 check: vet lint build
 	$(GO) test -race -short ./...
@@ -38,3 +41,6 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+perfbench:
+	$(GO) run ./cmd/zrbench -out BENCH_5.json -benchtime 300ms

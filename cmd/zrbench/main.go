@@ -1,0 +1,147 @@
+// Command zrbench runs the simulator's hot-path microbenchmarks and emits a
+// machine-readable performance baseline. The committed BENCH_5.json at the
+// repository root is its output: regenerate with `make perfbench` after any
+// datapath change and compare the scalar/batched pairs to see whether the
+// line-granular entry points still pay for themselves.
+//
+// The report schema is deterministic — a fixed benchmark set, names sorted,
+// GOMAXPROCS suffixes stripped — so two runs differ only in the measured
+// ns/op values, never in shape.
+//
+// Usage:
+//
+//	zrbench [-out BENCH_5.json] [-benchtime 100ms] [-count 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// suite is one `go test -bench` invocation over a hot-path package.
+type suite struct {
+	pkg   string
+	bench string
+}
+
+// suites is the fixed benchmark set of the baseline: the batched-datapath
+// pairs in the controller and refresh engine, and the transform kernels.
+var suites = []suite{
+	{"./internal/memctrl", "BenchmarkWriteLine|BenchmarkReadLine|BenchmarkWriteZeroRow"},
+	{"./internal/refresh", "BenchmarkAutoRefreshSet"},
+	{"./internal/transform", "BenchmarkBitPlaneInverse|BenchmarkPipelineEncodeDecode"},
+}
+
+// result is one benchmark measurement.
+type result struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the BENCH_5.json document.
+type report struct {
+	Schema     string   `json:"schema"`
+	BenchTime  string   `json:"benchtime"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix is the `-8` style suffix the testing package appends to
+// benchmark names; it varies by machine, so the baseline strips it.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. Non-benchmark lines (goos/pkg headers, PASS, ok) are skipped.
+func parseBench(pkg string, out []byte) ([]result, error) {
+	var results []result
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := result{
+			Name:    gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Package: pkg,
+		}
+		rest := fields[2:]
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q of %q: %v", rest[i], line, err)
+			}
+			switch rest[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		if r.NsPerOp == 0 {
+			return nil, fmt.Errorf("no ns/op in benchmark line %q", line)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func run(out, benchtime string, count int) error {
+	var all []result
+	for _, s := range suites {
+		args := []string{"test", "-run", "^$", "-bench", s.bench, "-benchmem",
+			"-benchtime", benchtime, "-count", strconv.Itoa(count), s.pkg}
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		output, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, output)
+		}
+		results, err := parseBench(strings.TrimPrefix(s.pkg, "./"), output)
+		if err != nil {
+			return err
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("%s: no benchmarks matched %q", s.pkg, s.bench)
+		}
+		all = append(all, results...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Package != all[j].Package {
+			return all[i].Package < all[j].Package
+		}
+		return all[i].Name < all[j].Name
+	})
+	doc, err := json.MarshalIndent(report{
+		Schema: "zrbench/1", BenchTime: benchtime, Benchmarks: all,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(out, doc, 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "output file, or - for stdout")
+	benchtime := flag.String("benchtime", "100ms", "per-benchmark measurement time (go test -benchtime)")
+	count := flag.Int("count", 1, "benchmark repetitions (go test -count)")
+	flag.Parse()
+	if err := run(*out, *benchtime, *count); err != nil {
+		fmt.Fprintln(os.Stderr, "zrbench:", err)
+		os.Exit(1)
+	}
+}

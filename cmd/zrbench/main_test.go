@@ -1,0 +1,44 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: zerorefresh/internal/memctrl
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWriteLine/raw/scalar-8         	  923661	       413.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWriteLine/raw/batched-8        	 2260930	       192.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWriteZeroRow/raw/batched-16    	    1000	      1050 ns/op	      64 B/op	       2 allocs/op
+PASS
+ok  	zerorefresh/internal/memctrl	4.163s
+`)
+	got, err := parseBench("internal/memctrl", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []result{
+		{Name: "BenchmarkWriteLine/raw/scalar", Package: "internal/memctrl", NsPerOp: 413.0},
+		{Name: "BenchmarkWriteLine/raw/batched", Package: "internal/memctrl", NsPerOp: 192.6},
+		{Name: "BenchmarkWriteZeroRow/raw/batched", Package: "internal/memctrl", NsPerOp: 1050, BytesPerOp: 64, AllocsPerOp: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseBench = %+v, want %+v", got, want)
+	}
+}
+
+func TestParseBenchRejectsMissingNsPerOp(t *testing.T) {
+	if _, err := parseBench("p", []byte("BenchmarkX-8 100 7 B/op 0 allocs/op\n")); err == nil {
+		t.Fatal("expected error for a line without ns/op")
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	got, err := parseBench("p", []byte("PASS\nok p 0.1s\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("parseBench on no benchmarks = %v, %v", got, err)
+	}
+}

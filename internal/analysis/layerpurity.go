@@ -31,11 +31,17 @@ func (Layerpurity) Doc() string {
 	return "DRAM state mutates only via engine.MemoryBackend; counters are minted only by metrics.Registry"
 }
 
-// dramMutators is the charge-state-mutating slice of the rank contract.
+// dramMutators is the charge-state-mutating slice of the rank contract:
+// the scalar methods and their line-granular batched equivalents
+// (WriteLineWords, RefreshGroup, FillRowWords), which perform the same
+// state transitions a cacheline or refresh diagonal at a time.
 var dramMutators = map[string]bool{
-	"WriteWord":  true,
-	"Refresh":    true,
-	"MarkSpared": true,
+	"WriteWord":      true,
+	"Refresh":        true,
+	"MarkSpared":     true,
+	"WriteLineWords": true,
+	"RefreshGroup":   true,
+	"FillRowWords":   true,
 }
 
 // metricValueTypes are the types only metrics.Registry may construct.

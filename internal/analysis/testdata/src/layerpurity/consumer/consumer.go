@@ -12,6 +12,9 @@ import (
 type backend interface {
 	WriteWord(row int, v uint64)
 	Refresh(row int) bool
+	WriteLineWords(row int, words [8]uint64) bool
+	RefreshGroup(rows [8]int) uint16
+	FillRowWords(row int, words [8]uint64)
 }
 
 func direct(m *dram.Module) bool {
@@ -19,9 +22,24 @@ func direct(m *dram.Module) bool {
 	return m.Refresh(0) // want "mutates DRAM cell state on concrete"
 }
 
+func directBatched(m *dram.Module) bool {
+	m.FillRowWords(0, [8]uint64{})             // want "mutates DRAM cell state on concrete"
+	m.RefreshGroup([8]int{})                   // want "mutates DRAM cell state on concrete"
+	return m.WriteLineWords(0, [8]uint64{1})   // want "mutates DRAM cell state on concrete"
+}
+
 func throughInterface(b backend) bool {
 	b.WriteWord(0, 1)
+	b.WriteLineWords(0, [8]uint64{1})
+	b.RefreshGroup([8]int{})
+	b.FillRowWords(0, [8]uint64{})
 	return b.Refresh(0)
+}
+
+func readBatched(m *dram.Module) [8]uint64 {
+	// Line-granular reads recharge rows as a physical side effect but are
+	// not part of the mutating contract slice, same as scalar ReadWord.
+	return m.ReadLineWords(0)
 }
 
 func bootProbe(m *dram.Module) {

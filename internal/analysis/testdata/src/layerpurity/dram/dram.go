@@ -13,3 +13,14 @@ func (m *Module) WriteWord(row int, v uint64) { m.rows[row] = v }
 func (m *Module) Refresh(row int) bool { return m.rows[row] == 0 }
 
 func (m *Module) MarkSpared(row int) { m.rows[row] = ^uint64(0) }
+
+func (m *Module) WriteLineWords(row int, words [8]uint64) bool {
+	m.rows[row] = words[0]
+	return m.rows[row] == 0
+}
+
+func (m *Module) ReadLineWords(row int) [8]uint64 { return [8]uint64{m.rows[row]} }
+
+func (m *Module) RefreshGroup(rows [8]int) uint16 { return 0 }
+
+func (m *Module) FillRowWords(row int, words [8]uint64) { m.rows[row] = words[0] }

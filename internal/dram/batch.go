@@ -1,0 +1,258 @@
+package dram
+
+import "fmt"
+
+// Line-granular batched operations.
+//
+// The scalar WriteWord/ReadWord/Refresh contract charges every simulated
+// word with its own bounds check, row activation, retention check, trace
+// guard and atomic counter update — eight times per cacheline, since a line
+// spreads one word onto each chip of the rank. The batched entry points
+// below perform the same state transitions for a whole (bank, row) group in
+// one call: one bounds check, one pass over the chips with the hot fields
+// hoisted, and one atomic Add per counter instead of eight Incs. They are
+// observationally identical to the scalar loops they replace — same final
+// cell state, same counter totals, same trace events in the same order —
+// which the differential tests in module_test.go and internal/memctrl pin.
+
+// LineChips is the rank width the line-granular operations assume: one
+// 8-byte word of the 64-byte cacheline per chip, matching
+// transform.MappingChips. Geometries with a different chip count must use
+// the scalar contract.
+const LineChips = WordsPerLine
+
+// checkLine bounds-checks one line-granular access. It is the single guard
+// a batched call performs, replacing the per-chip checkAddr/word checks of
+// the scalar path.
+func (m *Module) checkLine(bank, rowIdx, slot int) {
+	if m.cfg.Chips != LineChips {
+		panic(fmt.Sprintf("dram: line-granular access needs %d chips, rank has %d", LineChips, m.cfg.Chips))
+	}
+	if bank < 0 || bank >= m.cfg.Banks {
+		panic(fmt.Sprintf("dram: bank %d out of range [0,%d)", bank, m.cfg.Banks))
+	}
+	if rowIdx < 0 || rowIdx >= m.cfg.RowsPerBank {
+		panic(fmt.Sprintf("dram: row %d out of range [0,%d)", rowIdx, m.cfg.RowsPerBank))
+	}
+	if slot < 0 || slot >= m.cfg.WordsPerChipRow() {
+		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", slot, m.cfg.WordsPerChipRow()))
+	}
+}
+
+// activateRow is the loop body shared by the batched operations: it brings
+// chip's row into the sense amplifiers with the retention model applied,
+// exactly like the scalar activate, but with the counter update left to the
+// caller (which batches it) and the decay count returned for the same
+// reason. traced is the hoisted nil-guard of the caller.
+func (m *Module) activateRow(chip, bank, rowIdx int, now Time, traced bool) (*row, int64) {
+	b := m.banks[chip*m.cfg.Banks+bank]
+	r := b[rowIdx]
+	if r == nil {
+		r = &row{lastRecharge: now}
+		b[rowIdx] = r
+	}
+	var decays int64
+	if r.chargedWords > 0 && now-r.lastRecharge > m.cfg.Timing.TRET {
+		r.decay()
+		decays = 1
+		if traced {
+			m.tr.Emit(traceRetentionViolation(now, chip, bank, rowIdx))
+		}
+	}
+	r.lastRecharge = now
+	return r, decays
+}
+
+// WriteLineWords stores one word per chip into word slot `slot` of the same
+// (bank, row) in all LineChips chips — the whole cacheline the controller
+// scattered — and reports whether every touched chip-row is fully
+// discharged afterwards. It is the batched equivalent of eight WriteWord
+// calls and leaves identical state, counters and trace events behind.
+func (m *Module) WriteLineWords(bank, rowIdx, slot int, words [LineChips]uint64, now Time) bool {
+	m.checkLine(bank, rowIdx, slot)
+	wordsPerRow := m.cfg.WordsPerChipRow()
+	ct := m.cfg.CellTypeOf(rowIdx)
+	tret := m.cfg.Timing.TRET
+	traced := m.tr != nil
+	var decays int64
+	all := true
+	// activateRow inlined by hand: the compiler won't, and one call per
+	// chip is most of what this path exists to remove. The bank slices of
+	// consecutive chips sit cfg.Banks apart in m.banks.
+	idx := bank
+	for chip := 0; chip < LineChips; chip++ {
+		b := m.banks[idx]
+		idx += m.cfg.Banks
+		r := b[rowIdx]
+		if r == nil {
+			r = &row{lastRecharge: now}
+			b[rowIdx] = r
+		} else if r.chargedWords > 0 && now-r.lastRecharge > tret {
+			r.decay()
+			decays++
+			if traced {
+				m.tr.Emit(traceRetentionViolation(now, chip, bank, rowIdx))
+			}
+		}
+		r.lastRecharge = now
+		before := r.chargedWords == 0
+		// writeWord's materialized fast path, specialized inline: the
+		// compiler cannot inline the full method (cost 152 vs budget 80)
+		// and the call per chip is the last per-word overhead left. The
+		// discharged-row and charge-crossing cases stay in the shared
+		// slow-path helpers, so the semantics are writeWord's exactly.
+		wv := words[chip]
+		var after bool
+		if r.words != nil {
+			oldCharged := ct.ChargedBits(r.words[slot]) != 0
+			newCharged := ct.ChargedBits(wv) != 0
+			r.words[slot] = wv
+			if oldCharged != newCharged {
+				after = r.adjustCharged(newCharged)
+			} else {
+				after = r.chargedWords == 0
+			}
+		} else {
+			after = r.writeWordDischarged(slot, wv, wordsPerRow, ct)
+		}
+		if !after {
+			all = false
+		}
+		if traced && before != after {
+			m.tr.Emit(traceChargeTransition(now, chip, bank, rowIdx, after))
+		}
+	}
+	m.activations.Add(LineChips)
+	m.wordWrites.Add(LineChips)
+	if decays != 0 {
+		m.decayEvents.Add(decays)
+	}
+	return all
+}
+
+// ReadLineWords returns word slot `slot` of the same (bank, row) in all
+// LineChips chips, applying the retention model as the hardware would. It
+// is the batched equivalent of eight ReadWord calls.
+func (m *Module) ReadLineWords(bank, rowIdx, slot int, now Time) [LineChips]uint64 {
+	m.checkLine(bank, rowIdx, slot)
+	ct := m.cfg.CellTypeOf(rowIdx)
+	tret := m.cfg.Timing.TRET
+	traced := m.tr != nil
+	var out [LineChips]uint64
+	var decays int64
+	idx := bank
+	for chip := 0; chip < LineChips; chip++ {
+		b := m.banks[idx]
+		idx += m.cfg.Banks
+		r := b[rowIdx]
+		if r == nil {
+			r = &row{lastRecharge: now}
+			b[rowIdx] = r
+		} else if r.chargedWords > 0 && now-r.lastRecharge > tret {
+			r.decay()
+			decays++
+			if traced {
+				m.tr.Emit(traceRetentionViolation(now, chip, bank, rowIdx))
+			}
+		}
+		r.lastRecharge = now
+		out[chip] = r.readWord(slot, ct)
+	}
+	m.activations.Add(LineChips)
+	m.wordReads.Add(LineChips)
+	if decays != 0 {
+		m.decayEvents.Add(decays)
+	}
+	return out
+}
+
+// RefreshGroup recharges one chip-row per chip — rows[c] in chip c, the
+// diagonal group of one staggered refresh step — and returns the renewed
+// status mask: bit c set iff chip c's row was fully discharged and is not
+// remapped by row sparing. It is the batched equivalent of the refresh
+// engine's scalar loop of Refresh + IsSpared per chip.
+func (m *Module) RefreshGroup(bank int, rows [LineChips]int, now Time) uint16 {
+	if m.cfg.Chips != LineChips {
+		panic(fmt.Sprintf("dram: group refresh needs %d chips, rank has %d", LineChips, m.cfg.Chips))
+	}
+	if bank < 0 || bank >= m.cfg.Banks {
+		panic(fmt.Sprintf("dram: bank %d out of range [0,%d)", bank, m.cfg.Banks))
+	}
+	traced := m.tr != nil
+	var mask uint16
+	var decays int64
+	for chip := 0; chip < LineChips; chip++ {
+		rowIdx := rows[chip]
+		m.checkRow(rowIdx)
+		b := m.banks[chip*m.cfg.Banks+bank]
+		r := b[rowIdx]
+		if r == nil {
+			// Never-touched row: fully discharged; the refresh is still
+			// performed by the hardware when commanded.
+			if !m.sparedRow(rowIdx) {
+				mask |= 1 << chip
+			}
+			continue
+		}
+		if r.chargedWords > 0 && now-r.lastRecharge > m.cfg.Timing.TRET {
+			r.decay()
+			decays++
+			if traced {
+				m.tr.Emit(traceRetentionViolation(now, chip, bank, rowIdx))
+			}
+		}
+		m.refreshedAge.Observe(int64(now - r.lastRecharge))
+		r.lastRecharge = now
+		if r.chargedWords == 0 && !m.sparedRow(rowIdx) {
+			mask |= 1 << chip
+		}
+	}
+	m.refreshes.Add(LineChips)
+	if decays != 0 {
+		m.decayEvents.Add(decays)
+	}
+	return mask
+}
+
+// FillRowWords stores the same one-word-per-chip pattern into every word
+// slot of (bank, row) across all LineChips chips — the whole rank-level row
+// in one call. It is the batched equivalent of WriteLineWords per slot
+// (itself the batched WriteWord loop) and is the backend of the
+// controller's bulk page-cleansing path: the row is activated once per chip
+// and the fill then runs over cached row pointers with no per-word checks.
+// Counter totals and trace events match the scalar slot-major loop exactly.
+func (m *Module) FillRowWords(bank, rowIdx int, words [LineChips]uint64, now Time) {
+	m.checkLine(bank, rowIdx, 0)
+	wordsPerRow := m.cfg.WordsPerChipRow()
+	ct := m.cfg.CellTypeOf(rowIdx)
+	traced := m.tr != nil
+	var rows [LineChips]*row
+	var decays int64
+	// Slot 0 doubles as the per-chip activation pass, interleaving any
+	// retention-violation and charge-transition events per chip exactly as
+	// the scalar loop would.
+	for chip := 0; chip < LineChips; chip++ {
+		r, d := m.activateRow(chip, bank, rowIdx, now, traced)
+		decays += d
+		before := r.discharged()
+		after := r.writeWord(0, words[chip], wordsPerRow, ct)
+		if traced && before != after {
+			m.tr.Emit(traceChargeTransition(now, chip, bank, rowIdx, after))
+		}
+		rows[chip] = r
+	}
+	for slot := 1; slot < wordsPerRow; slot++ {
+		for chip, r := range rows {
+			before := r.discharged()
+			after := r.writeWord(slot, words[chip], wordsPerRow, ct)
+			if traced && before != after {
+				m.tr.Emit(traceChargeTransition(now, chip, bank, rowIdx, after))
+			}
+		}
+	}
+	m.activations.Add(int64(LineChips * wordsPerRow))
+	m.wordWrites.Add(int64(LineChips * wordsPerRow))
+	if decays != 0 {
+		m.decayEvents.Add(decays)
+	}
+}

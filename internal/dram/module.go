@@ -37,10 +37,14 @@ type Module struct {
 	// banks[chip*cfg.Banks+bank][row] holds per-row storage; nil until
 	// a row first needs materialized state.
 	banks [][]*row
-	// spared marks rank-level row indices remapped by row sparing for
-	// fault tolerance; refresh skipping must be disabled for them
-	// (Section IV-B).
-	spared map[int]bool
+	// spared is a bitset over rank-level row indices remapped by row
+	// sparing for fault tolerance; refresh skipping must be disabled for
+	// them (Section IV-B). Word r/64, bit r%64 is set when row r is
+	// spared. A bitset rather than a map keeps the sense path — consulted
+	// for every refresh step — a load and a mask instead of a hashed
+	// lookup; nil until the first MarkSpared, since most ranks spare
+	// nothing.
+	spared []uint64
 
 	// Operation counters live in a metrics registry so a sharded system
 	// can snapshot every rank's activity concurrently and uniformly.
@@ -66,7 +70,6 @@ func New(cfg Config) *Module {
 	m := &Module{
 		cfg:          cfg,
 		banks:        make([][]*row, cfg.Chips*cfg.Banks),
-		spared:       make(map[int]bool),
 		reg:          reg,
 		activations:  reg.Counter("dram.activations"),
 		refreshes:    reg.Counter("dram.refreshes"),
@@ -109,11 +112,29 @@ func (m *Module) Stats() Stats {
 // refresh engine cannot skip them.
 func (m *Module) MarkSpared(rowIdx int) {
 	m.checkRow(rowIdx)
-	m.spared[rowIdx] = true
+	if m.spared == nil {
+		m.spared = make([]uint64, (m.cfg.RowsPerBank+63)/64)
+	}
+	m.spared[rowIdx/64] |= 1 << (rowIdx % 64)
 }
 
-// IsSpared reports whether the row index is remapped by row sparing.
-func (m *Module) IsSpared(rowIdx int) bool { return m.spared[rowIdx] }
+// sparedRow is the unchecked bitset probe behind IsSpared, for callers that
+// have already bounds-checked rowIdx.
+func (m *Module) sparedRow(rowIdx int) bool {
+	if m.spared == nil {
+		return false
+	}
+	return m.spared[rowIdx/64]&(1<<(rowIdx%64)) != 0
+}
+
+// IsSpared reports whether the row index is remapped by row sparing. Out of
+// range indices report false, as the map-backed implementation did.
+func (m *Module) IsSpared(rowIdx int) bool {
+	if rowIdx < 0 || rowIdx >= m.cfg.RowsPerBank {
+		return false
+	}
+	return m.sparedRow(rowIdx)
+}
 
 func (m *Module) checkAddr(chip, bank, rowIdx int) {
 	if chip < 0 || chip >= m.cfg.Chips {
@@ -159,11 +180,30 @@ func (m *Module) expire(r *row, chip, bank, rowIdx int, now Time) {
 		r.decay()
 		m.decayEvents.Inc()
 		if m.tr != nil {
-			m.tr.Emit(trace.Event{
-				Kind: trace.KindRetentionViolation, Time: int64(now),
-				Chip: int32(chip), Bank: int32(bank), Row: int32(rowIdx),
-			})
+			m.tr.Emit(traceRetentionViolation(now, chip, bank, rowIdx))
 		}
+	}
+}
+
+// traceRetentionViolation builds the event for a chip-row that lost charged
+// data to a missed retention deadline.
+func traceRetentionViolation(now Time, chip, bank, rowIdx int) trace.Event {
+	return trace.Event{
+		Kind: trace.KindRetentionViolation, Time: int64(now),
+		Chip: int32(chip), Bank: int32(bank), Row: int32(rowIdx),
+	}
+}
+
+// traceChargeTransition builds the event for a chip-row crossing between
+// the charged and fully discharged states on the store path.
+func traceChargeTransition(now Time, chip, bank, rowIdx int, discharged bool) trace.Event {
+	var a int64
+	if discharged {
+		a = 1
+	}
+	return trace.Event{
+		Kind: trace.KindChargeTransition, Time: int64(now),
+		Chip: int32(chip), Bank: int32(bank), Row: int32(rowIdx), A: a,
 	}
 }
 
@@ -179,14 +219,7 @@ func (m *Module) WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now Time) 
 	after := r.writeWord(wordIdx, v, m.cfg.WordsPerChipRow(), m.cfg.CellTypeOf(rowIdx))
 	m.wordWrites.Inc()
 	if m.tr != nil && before != after {
-		var a int64
-		if after {
-			a = 1
-		}
-		m.tr.Emit(trace.Event{
-			Kind: trace.KindChargeTransition, Time: int64(now),
-			Chip: int32(chip), Bank: int32(bank), Row: int32(rowIdx), A: a,
-		})
+		m.tr.Emit(traceChargeTransition(now, chip, bank, rowIdx, after))
 	}
 }
 
@@ -231,7 +264,7 @@ func (m *Module) Refresh(chip, bank, rowIdx int, now Time) (discharged bool) {
 // refresh engine cannot skip them.
 func (m *Module) SenseDischarged(chip, bank, rowIdx int) bool {
 	m.checkAddr(chip, bank, rowIdx)
-	if m.spared[rowIdx] {
+	if m.sparedRow(rowIdx) {
 		return false
 	}
 	return m.bankOf(chip, bank)[rowIdx].discharged()

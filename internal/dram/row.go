@@ -25,8 +25,8 @@ type row struct {
 	everDecayed bool
 }
 
-// chargedBitsIn recomputes chargedWords from scratch; used by tests and by
-// mutation paths that rewrite the whole row.
+// recountCharged recomputes the charged-word count of a row from scratch;
+// used by tests and by mutation paths that rewrite the whole row.
 func recountCharged(words []uint64, ct CellType) int {
 	n := 0
 	for _, w := range words {
@@ -68,25 +68,45 @@ func (r *row) readWord(i int, ct CellType) uint64 {
 }
 
 // writeWord stores v into word slot i, maintaining the charged-word count.
-// It returns true if the row is fully discharged afterwards.
+// It returns true if the row is fully discharged afterwards. The body is
+// split so this hot-path entry stays within the inlining budget; the
+// materialize-or-skip and count-adjustment cases live in the two slow-path
+// helpers below.
 func (r *row) writeWord(i int, v uint64, wordsPerRow int, ct CellType) bool {
 	if r.words == nil {
-		if ct.ChargedBits(v) == 0 {
-			// Writing the discharged pattern into a discharged row
-			// leaves it discharged; no storage needed.
-			return true
-		}
-		r.materialize(wordsPerRow, ct)
+		return r.writeWordDischarged(i, v, wordsPerRow, ct)
 	}
 	oldCharged := ct.ChargedBits(r.words[i]) != 0
 	newCharged := ct.ChargedBits(v) != 0
 	r.words[i] = v
-	switch {
-	case oldCharged && !newCharged:
-		r.chargedWords--
-	case !oldCharged && newCharged:
-		r.chargedWords++
+	if oldCharged != newCharged {
+		return r.adjustCharged(newCharged)
 	}
+	return r.chargedWords == 0
+}
+
+// writeWordDischarged handles a write into a row with no backing storage:
+// the discharged pattern is a no-op, anything else materializes the row
+// first and then takes the normal path.
+func (r *row) writeWordDischarged(i int, v uint64, wordsPerRow int, ct CellType) bool {
+	if ct.ChargedBits(v) == 0 {
+		// Writing the discharged pattern into a discharged row leaves it
+		// discharged; no storage needed.
+		return true
+	}
+	r.materialize(wordsPerRow, ct)
+	return r.writeWord(i, v, wordsPerRow, ct)
+}
+
+// adjustCharged moves the charged-word count after a word crossed between
+// charged and discharged, releasing the backing array when the row reaches
+// the fully discharged state again.
+func (r *row) adjustCharged(nowCharged bool) bool {
+	if nowCharged {
+		r.chargedWords++
+		return false
+	}
+	r.chargedWords--
 	if r.chargedWords == 0 {
 		// chargedWords == 0 implies every word equals the discharged
 		// pattern, so the backing array can be released again.

@@ -21,11 +21,18 @@ import (
 // emission site is guarded by a single nil check and nothing else.
 type Tracer = trace.Sink
 
-// MemoryBackend is the row-granular hardware contract a refresh engine and
-// a memory-controller datapath need from a DRAM rank: word reads and
+// MemoryBackend is the hardware contract a refresh engine and a
+// memory-controller datapath need from a DRAM rank: word reads and
 // writes (which activate, and therefore recharge, the row), explicit
 // refresh with discharged-row sensing, and the row-sparing predicate that
 // gates skip eligibility. *dram.Module is the canonical implementation.
+//
+// The contract comes at two granularities. The scalar word/row methods are
+// the fully general model; the line/group-granular batched methods perform
+// the identical state transitions for a whole cacheline or refresh diagonal
+// in one call — same cell state, counters and trace events, one interface
+// dispatch and one bounds check instead of eight — and are what the hot
+// paths use on the standard LineChips-wide rank.
 type MemoryBackend interface {
 	// Config returns the rank geometry.
 	Config() dram.Config
@@ -41,6 +48,24 @@ type MemoryBackend interface {
 	// IsSpared reports whether the rank-level row is remapped by row
 	// sparing (spared rows must never skip refresh).
 	IsSpared(rowIdx int) bool
+
+	// WriteLineWords stores words[c] into word slot `slot` of (bank, row)
+	// in chip c for all chips at once — one scattered cacheline — and
+	// reports whether every touched chip-row is fully discharged
+	// afterwards. Equivalent to LineChips WriteWord calls.
+	WriteLineWords(bank, rowIdx, slot int, words [dram.LineChips]uint64, now dram.Time) bool
+	// ReadLineWords returns word slot `slot` of (bank, row) in every
+	// chip. Equivalent to LineChips ReadWord calls.
+	ReadLineWords(bank, rowIdx, slot int, now dram.Time) [dram.LineChips]uint64
+	// RefreshGroup refreshes rows[c] in chip c — one staggered refresh
+	// diagonal — and returns the status mask: bit c set iff chip c's row
+	// was fully discharged and not remapped by row sparing. Equivalent to
+	// the scalar Refresh + IsSpared loop.
+	RefreshGroup(bank int, rows [dram.LineChips]int, now dram.Time) uint16
+	// FillRowWords stores words into every word slot of (bank, row)
+	// across all chips — the bulk page-cleansing fill. Equivalent to
+	// WriteLineWords for every slot of the row.
+	FillRowWords(bank, rowIdx int, words [dram.LineChips]uint64, now dram.Time)
 }
 
 // WriteNotifier receives write notifications from the controller datapath.
@@ -100,6 +125,13 @@ type RefreshPolicy interface {
 type LineCodec interface {
 	// Encode transforms a cacheline for storage in rank-level row rowIdx.
 	Encode(l transform.Line, rowIdx int) transform.Line
+	// EncodeFill encodes one line destined to fill n identical slots of
+	// row rowIdx: the transform runs once but the accounting — transform
+	// ops, zero-word observations, codec-selection events — is charged n
+	// times, exactly as n Encode calls would, since the modelled hardware
+	// still pushes every line through the transform unit. The bulk
+	// page-cleansing path uses it to encode a row's zero fill once.
+	EncodeFill(l transform.Line, rowIdx, n int) transform.Line
 	// Decode inverts Encode for a line read back from row rowIdx.
 	Decode(l transform.Line, rowIdx int) transform.Line
 	// Ops returns the number of transform operations performed, the

@@ -73,8 +73,25 @@ func (c *Controller) LinesRead() int64 { return c.linesRead.Load() }
 func (c *Controller) LinesWritten() int64 { return c.linesWritten.Load() }
 
 // WriteLine stores a 64-byte cacheline at the line-aligned physical
-// address, transforming and rotating it on the way.
+// address, transforming and rotating it on the way. The scattered words
+// reach the rank through one batched backend call rather than eight scalar
+// WriteWord dispatches; writeLineScalar retains the scalar loop and the
+// differential tests prove the two leave bit-identical state, counters and
+// trace streams behind.
 func (c *Controller) WriteLine(addr uint64, data [64]byte, now dram.Time) error {
+	loc, err := c.amap.Locate(addr)
+	if err != nil {
+		return err
+	}
+	enc := c.pipe.Encode(transform.LineFromBytes(&data), loc.Row)
+	c.mod.WriteLineWords(loc.Bank, loc.Row, loc.Slot, c.mapping.Scatter(enc, loc.Row), now)
+	c.noteLineWritten(loc, now)
+	return nil
+}
+
+// writeLineScalar is the retained scalar datapath: one WriteWord per chip.
+// It is the differential-test and benchmark reference for WriteLine.
+func (c *Controller) writeLineScalar(addr uint64, data [64]byte, now dram.Time) error {
 	loc, err := c.amap.Locate(addr)
 	if err != nil {
 		return err
@@ -84,6 +101,14 @@ func (c *Controller) WriteLine(addr uint64, data [64]byte, now dram.Time) error 
 	for chip, w := range words {
 		c.mod.WriteWord(chip, loc.Bank, loc.Row, loc.Slot, w, now)
 	}
+	c.noteLineWritten(loc, now)
+	return nil
+}
+
+// noteLineWritten performs the per-line bookkeeping shared by the batched
+// and scalar write paths: refresh-policy notification, the written-lines
+// counter and the writeback trace event.
+func (c *Controller) noteLineWritten(loc Location, now dram.Time) {
 	if c.eng != nil {
 		c.eng.NoteWrite(loc.Bank, loc.Row)
 	}
@@ -95,11 +120,25 @@ func (c *Controller) WriteLine(addr uint64, data [64]byte, now dram.Time) error 
 			A: int64(loc.Slot),
 		})
 	}
-	return nil
 }
 
-// ReadLine fetches and inverse-transforms the cacheline at addr.
+// ReadLine fetches and inverse-transforms the cacheline at addr. Like
+// WriteLine it issues one batched backend call per line; readLineScalar
+// retains the scalar loop.
 func (c *Controller) ReadLine(addr uint64, now dram.Time) ([64]byte, error) {
+	loc, err := c.amap.Locate(addr)
+	if err != nil {
+		return [64]byte{}, err
+	}
+	words := c.mod.ReadLineWords(loc.Bank, loc.Row, loc.Slot, now)
+	line := c.pipe.Decode(c.mapping.Gather(words, loc.Row), loc.Row)
+	c.linesRead.Inc()
+	return line.Bytes(), nil
+}
+
+// readLineScalar is the retained scalar read path: one ReadWord per chip.
+// It is the differential-test and benchmark reference for ReadLine.
+func (c *Controller) readLineScalar(addr uint64, now dram.Time) ([64]byte, error) {
 	loc, err := c.amap.Locate(addr)
 	if err != nil {
 		return [64]byte{}, err
@@ -114,13 +153,42 @@ func (c *Controller) ReadLine(addr uint64, now dram.Time) ([64]byte, error) {
 }
 
 // WriteZeroRow stores zero cachelines into every slot of the rank-level row
-// containing addr, as the OS page-cleansing path would. It uses the normal
-// datapath so the zeros are encoded per cell type.
+// containing addr, as the OS page-cleansing path would. The zero line is
+// encoded once for the row's cell type (every slot of a row stores the same
+// encoded pattern) and the whole row is filled in one backend call; the
+// accounting — transform ops, write counters, trace events — is charged per
+// line exactly as the slot-by-slot datapath would charge it.
 func (c *Controller) WriteZeroRow(addr uint64, now dram.Time) error {
+	loc, err := c.amap.Locate(c.amap.RowBase(addr))
+	if err != nil {
+		return err
+	}
+	lines := c.mod.Config().LinesPerRow()
+	enc := c.pipe.EncodeFill(transform.Line{}, loc.Row, lines)
+	c.mod.FillRowWords(loc.Bank, loc.Row, c.mapping.Scatter(enc, loc.Row), now)
+	if c.eng != nil {
+		c.eng.NoteWrite(loc.Bank, loc.Row)
+	}
+	c.linesWritten.Add(int64(lines))
+	if c.tr != nil {
+		for slot := 0; slot < lines; slot++ {
+			c.tr.Emit(trace.Event{
+				Kind: trace.KindWriteback, Time: int64(now),
+				Chip: -1, Bank: int32(loc.Bank), Row: int32(loc.Row),
+				A: int64(slot),
+			})
+		}
+	}
+	return nil
+}
+
+// writeZeroRowScalar is the retained slot-by-slot page-cleansing loop, the
+// differential-test reference for WriteZeroRow.
+func (c *Controller) writeZeroRowScalar(addr uint64, now dram.Time) error {
 	base := c.amap.RowBase(addr)
 	var zero [64]byte
 	for off := uint64(0); off < uint64(c.mod.Config().RowBytes); off += dram.LineBytes {
-		if err := c.WriteLine(base+off, zero, now); err != nil {
+		if err := c.writeLineScalar(base+off, zero, now); err != nil {
 			return err
 		}
 	}

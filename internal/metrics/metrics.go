@@ -71,13 +71,24 @@ type Histogram struct {
 
 // Observe records one observation. Negative values clamp to bucket 0.
 func (h *Histogram) Observe(v int64) {
+	h.ObserveN(v, 1)
+}
+
+// ObserveN records the same observation n times in three atomic updates —
+// the batched form the hot paths use when one event repeats (a bulk row
+// fill observing one zero-word count per line). It leaves the histogram in
+// exactly the state n Observe calls would. n <= 0 records nothing.
+func (h *Histogram) ObserveN(v, n int64) {
+	if n <= 0 {
+		return
+	}
 	b := 0
 	if v > 0 {
 		b = bits.Len64(uint64(v))
 	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sum.Add(v)
+	h.buckets[b].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
 }
 
 // Count returns the number of observations.

@@ -1,0 +1,37 @@
+package refresh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAutoRefreshSet measures one full auto-refresh command (32 steps,
+// 256 chip-row refreshes) with the access bit forced set, so every step
+// takes the refresh path. The scalar sub drives the retained per-chip
+// Refresh + IsSpared loop; the batched sub drives the RefreshGroup backend
+// call the engine now uses on a standard rank.
+func BenchmarkAutoRefreshSet(b *testing.B) {
+	for _, mode := range []string{"scalar", "batched"} {
+		m := testModule()
+		cfg := m.Config()
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 2000; i++ {
+			m.WriteWord(rng.Intn(cfg.Chips), rng.Intn(cfg.Banks), rng.Intn(cfg.RowsPerBank),
+				rng.Intn(cfg.WordsPerChipRow()), rng.Uint64()|1, 0)
+		}
+		for r := 0; r < cfg.RowsPerBank; r += 29 {
+			m.MarkSpared(r)
+		}
+		e := testEngine(m)
+		e.scalarStep = mode == "scalar"
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bank := i % e.banks
+				set := (i / e.banks) % e.numARs
+				e.accessBits[bank][set] = true
+				e.AutoRefreshSet(bank, set, 0)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package refresh
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/trace"
+)
+
+// Differential test for the batched refresh step: an engine routing
+// refreshStep through the backend's RefreshGroup call is driven against a
+// twin forced onto the per-chip scalar loop (scalarStep), under identical
+// write traffic with spared rows, per-chip-status and all-bank variants.
+// Every AR result, counter, trace event and module state must match.
+
+func diffEngines(t *testing.T, cfg Config, sparedEvery int) (batched, scalar *Engine, mods [2]*dram.Module, trs [2]*trace.Tracer) {
+	t.Helper()
+	for i := range mods {
+		mods[i] = testModule()
+		trs[i] = trace.New(1 << 17)
+		mods[i].SetTracer(trs[i].NewShard("rank"))
+		if sparedEvery > 0 {
+			for r := 0; r < mods[i].Config().RowsPerBank; r += sparedEvery {
+				mods[i].MarkSpared(r)
+			}
+		}
+	}
+	batched, scalar = NewEngine(mods[0], cfg), NewEngine(mods[1], cfg)
+	batched.SetTracer(trs[0].NewShard("refresh"))
+	scalar.SetTracer(trs[1].NewShard("refresh"))
+	scalar.scalarStep = true
+	return batched, scalar, mods, trs
+}
+
+func TestRefreshGroupStepMatchesScalar(t *testing.T) {
+	cases := map[string]Config{
+		"default":      {Skip: true, RowsPerAR: 32, Stagger: true, StatusInDRAM: true},
+		"unstaggered":  {Skip: true, RowsPerAR: 32, StatusInDRAM: true},
+		"per-chip":     {Skip: true, RowsPerAR: 32, Stagger: true, StatusInDRAM: true, PerChipStatus: true},
+		"all-bank":     {Skip: true, RowsPerAR: 32, Stagger: true, StatusInDRAM: true, AllBank: true},
+		"conventional": {Skip: false, RowsPerAR: 32, Stagger: true},
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			batched, scalar, mods, trs := diffEngines(t, cfg, 29)
+			dcfg := mods[0].Config()
+			tret := dcfg.Timing.TRET
+			rng := rand.New(rand.NewSource(23))
+			now := dram.Time(0)
+			for cycle := 0; cycle < 6; cycle++ {
+				// Identical write traffic, notified to both engines.
+				for i := 0; i < 40; i++ {
+					bank := rng.Intn(dcfg.Banks)
+					row := rng.Intn(dcfg.RowsPerBank)
+					word := rng.Intn(dcfg.WordsPerChipRow())
+					chip := rng.Intn(dcfg.Chips)
+					v := rng.Uint64()
+					if rng.Intn(3) == 0 {
+						v = dcfg.CellTypeOf(row).DischargedWord()
+					}
+					mods[0].WriteWord(chip, bank, row, word, v, now)
+					mods[1].WriteWord(chip, bank, row, word, v, now)
+					batched.NoteWrite(bank, row)
+					scalar.NoteWrite(bank, row)
+				}
+				if cycle == 3 {
+					// Skip a window so charged unwritten rows decay and
+					// the batched inline-expire path fires.
+					now += tret
+				}
+				a, b := batched.RunCycle(now), scalar.RunCycle(now)
+				if a != b {
+					t.Fatalf("cycle %d stats diverged:\nbatched %+v\nscalar  %+v", cycle, a, b)
+				}
+				now = a.End + tret/dram.Time(8)
+			}
+			if a, b := batched.Stats(), scalar.Stats(); a != b {
+				t.Fatalf("engine stats diverged:\nbatched %+v\nscalar  %+v", a, b)
+			}
+			if a, b := batched.Metrics().Snapshot(), scalar.Metrics().Snapshot(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("engine metrics diverged:\nbatched %+v\nscalar  %+v", a, b)
+			}
+			if a, b := mods[0].Stats(), mods[1].Stats(); a != b {
+				t.Fatalf("module stats diverged:\nbatched %+v\nscalar  %+v", a, b)
+			}
+			if a, b := mods[0].Metrics().Snapshot(), mods[1].Metrics().Snapshot(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("module metrics diverged:\nbatched %+v\nscalar  %+v", a, b)
+			}
+			ea, eb := trs[0].Events(), trs[1].Events()
+			if len(ea) != len(eb) {
+				t.Fatalf("event counts diverged: batched %d, scalar %d", len(ea), len(eb))
+			}
+			for i := range ea {
+				if ea[i] != eb[i] {
+					t.Fatalf("event %d diverged:\nbatched %+v\nscalar  %+v", i, ea[i], eb[i])
+				}
+			}
+			for chip := 0; chip < dcfg.Chips; chip++ {
+				for bank := 0; bank < dcfg.Banks; bank++ {
+					for row := 0; row < dcfg.RowsPerBank; row++ {
+						if a, b := mods[0].ChargedCellCount(chip, bank, row), mods[1].ChargedCellCount(chip, bank, row); a != b {
+							t.Fatalf("charged cells diverged at (%d,%d,%d): %d vs %d", chip, bank, row, a, b)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScalarFallbackOnNarrowRank pins that a rank with a non-standard chip
+// count transparently uses the scalar loop (the batched group call requires
+// dram.LineChips chips).
+func TestScalarFallbackOnNarrowRank(t *testing.T) {
+	cfg := dram.DefaultConfig(8 << 20)
+	cfg.Chips = 4
+	cfg.CellGroupRows = 64
+	m := dram.New(cfg)
+	e := NewEngine(m, Config{Skip: true, RowsPerAR: 32, Stagger: true, StatusInDRAM: true})
+	st := e.RunCycle(0)
+	if st.Refreshed != st.Steps {
+		t.Fatalf("learning cycle on narrow rank refreshed %d of %d steps", st.Refreshed, st.Steps)
+	}
+	st = e.RunCycle(cfg.Timing.TRET)
+	if st.Skipped != st.Steps {
+		t.Fatalf("idle narrow rank skipped %d of %d steps", st.Skipped, st.Steps)
+	}
+}

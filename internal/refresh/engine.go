@@ -132,6 +132,11 @@ type Engine struct {
 	// tr receives typed refresh events when tracing is enabled; nil
 	// otherwise.
 	tr engine.Tracer
+
+	// scalarStep forces refreshStep onto the per-chip scalar loop even on
+	// a LineChips-wide rank; the differential tests and benchmarks use it
+	// to pit the two paths against each other.
+	scalarStep bool
 }
 
 // Stats accumulates engine activity across cycles. It is a point-in-time
@@ -282,8 +287,30 @@ func (e *Engine) NoteWrite(bank, row int) {
 
 // refreshStep refreshes the diagonal group of step n in a bank and returns
 // the renewed status mask: bit c set iff chip c's row was discharged and
-// not backed by a spare row.
+// not backed by a spare row. On the standard LineChips-wide rank the whole
+// diagonal goes to the backend in one RefreshGroup call; other geometries
+// (and the differential tests, via scalarStep) use the per-chip loop.
 func (e *Engine) refreshStep(bank, n int, now dram.Time) uint16 {
+	if e.scalarStep || e.chips != dram.LineChips {
+		return e.refreshStepScalar(bank, n, now)
+	}
+	var rows [dram.LineChips]int
+	if e.cfg.Stagger {
+		block := n / e.chips * e.chips
+		for chip := range rows {
+			rows[chip] = block + (chip+n)%e.chips
+		}
+	} else {
+		for chip := range rows {
+			rows[chip] = n
+		}
+	}
+	return e.mod.RefreshGroup(bank, rows, now)
+}
+
+// refreshStepScalar is the retained per-chip refresh loop, the
+// differential-test and benchmark reference for refreshStep.
+func (e *Engine) refreshStepScalar(bank, n int, now dram.Time) uint16 {
 	var mask uint16
 	for chip := 0; chip < e.chips; chip++ {
 		row := e.StepRow(chip, n)

@@ -1,0 +1,73 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"zerorefresh/internal/dram"
+)
+
+func benchLinesT(n int) []Line {
+	rng := rand.New(rand.NewSource(12))
+	lines := make([]Line, n)
+	for i := range lines {
+		switch i % 3 {
+		case 0: // value-local: the common post-EBDI-friendly case
+			base := rng.Uint64()
+			lines[i][0] = base
+			for j := 1; j < 8; j++ {
+				lines[i][j] = base + uint64(rng.Intn(200)) - 100
+			}
+		case 1: // zero line
+		default:
+			for j := range lines[i] {
+				lines[i][j] = rng.Uint64()
+			}
+		}
+	}
+	return lines
+}
+
+// BenchmarkBitPlaneInverse pits the gather-table inverse against the
+// retained bit-by-bit oracle on transposed images of mixed content.
+func BenchmarkBitPlaneInverse(b *testing.B) {
+	lines := benchLinesT(256)
+	for i := range lines {
+		lines[i] = BitPlaneTranspose(lines[i])
+	}
+	b.Run("table", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink Line
+		for i := 0; i < b.N; i++ {
+			sink = BitPlaneInverse(lines[i%len(lines)])
+		}
+		_ = sink
+	})
+	b.Run("bitloop", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink Line
+		for i := 0; i < b.N; i++ {
+			sink = referenceInverse(lines[i%len(lines)])
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkPipelineEncodeDecode measures one full encode+decode round trip
+// through the default ZERO-REFRESH pipeline, split by row cell type.
+func BenchmarkPipelineEncodeDecode(b *testing.B) {
+	cfg := dram.DefaultConfig(8 << 20)
+	cfg.CellGroupRows = 64
+	p := NewPipeline(DefaultOptions(), ExactTypes{Cfg: cfg})
+	lines := benchLinesT(256)
+	for name, row := range map[string]int{"true-cell": 0, "anti-cell": 64} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink Line
+			for i := 0; i < b.N; i++ {
+				sink = p.Decode(p.Encode(lines[i%len(lines)], row), row)
+			}
+			_ = sink
+		})
+	}
+}

@@ -66,23 +66,53 @@ func BitPlaneTranspose(l Line) Line {
 	return out
 }
 
+// stride7Mask selects the stride-7 bit positions 0, 7, ..., 49 — where one
+// input byte's bits sit after spreadTab scatters them.
+const stride7Mask uint64 = 0x0002040810204081
+
+// foldStride7 compresses the stride-7 bits of s into its low byte. The
+// eight stride positions 7t (t = 0..7) have pairwise-distinct residues
+// mod 8, so OR-ing the shifts by 0, 8, ..., 48 lands each bit at a unique
+// position of byte 0 — a bit permutation, not a lossy merge.
+func foldStride7(s uint64) byte {
+	s &= stride7Mask
+	return byte(s | s>>8 | s>>16 | s>>24 | s>>32 | s>>40 | s>>48)
+}
+
+// gatherTab undoes the spread-then-fold permutation: indexing by
+// foldStride7 of a spread byte returns the original byte. It is built as
+// the exact inverse of spreadTab under foldStride7, so gather and spread
+// are table-symmetric by construction.
+var gatherTab = func() [256]byte {
+	var t [256]byte
+	for v := 0; v < 256; v++ {
+		t[foldStride7(spreadTab[v])] = byte(v)
+	}
+	return t
+}()
+
 // BitPlaneInverse undoes BitPlaneTranspose.
+//
+// Implementation: byte k of delta word j occupies the stride-7 positions
+// 56k+j + {0, 7, ..., 49} of the transposed region — the mirror image of
+// the forward scatter — so each output byte is recovered by extracting the
+// 50-bit window at offset 56k+j (straddling at most two region words),
+// folding its stride-7 bits into one byte and looking the result up in
+// gatherTab. Eight table lookups per word replace the former bit-by-bit
+// walk of the whole 448-bit region.
 func BitPlaneInverse(l Line) Line {
 	out := Line{l[0]}
-	for i := 0; i < deltaWords; i++ {
-		w := l[i+1]
-		if w == 0 {
-			continue
-		}
-		for k := 0; w != 0; k++ {
-			if w&1 != 0 {
-				p := i*64 + k // transposed position
-				b := p / deltaWords
-				j := p % deltaWords
-				out[1+j] |= 1 << uint(b)
+	for j := 0; j < deltaWords; j++ {
+		var w uint64
+		for k := 0; k < 8; k++ {
+			p := uint(56*k + j)
+			win := l[1+p/64] >> (p % 64)
+			if p%64 > 64-50 {
+				win |= l[2+p/64] << (64 - p%64)
 			}
-			w >>= 1
+			w |= uint64(gatherTab[foldStride7(win)]) << (8 * k)
 		}
+		out[1+j] = w
 	}
 	return out
 }

@@ -34,7 +34,14 @@ func FuzzBitPlaneRoundTrip(f *testing.F) {
 }
 
 func FuzzPipelineRoundTrip(f *testing.F) {
-	f.Add(uint64(0), uint64(1), ^uint64(0), uint64(1)<<63, uint64(0x7f), uint64(0xff00), uint64(3), uint64(9), uint16(0), uint8(7))
+	// Seed every stage combination on both a true-cell row (0) and an
+	// anti-cell row (64, the next cell group under CellGroupRows=64), so
+	// the corpus exercises the cell-aware inversion on each codec variant
+	// even without -fuzz.
+	for opt := uint8(0); opt < 8; opt++ {
+		f.Add(uint64(0), uint64(1), ^uint64(0), uint64(1)<<63, uint64(0x7f), uint64(0xff00), uint64(3), uint64(9), uint16(0), opt)
+		f.Add(^uint64(0), uint64(0x100), uint64(7), uint64(1)<<17, uint64(0xfe), uint64(0xabcd), uint64(1), uint64(0), uint16(64), opt)
+	}
 	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i uint64, row uint16, optBits uint8) {
 		cfg := dram.DefaultConfig(8 << 20)
 		cfg.CellGroupRows = 64
@@ -42,8 +49,14 @@ func FuzzPipelineRoundTrip(f *testing.F) {
 		p := NewPipeline(opts, ExactTypes{Cfg: cfg})
 		r := int(row) % cfg.RowsPerBank
 		l := lineFromWords(a, b, c, d, e, g, h, i)
-		if p.Decode(p.Encode(l, r), r) != l {
+		enc := p.Encode(l, r)
+		if p.Decode(enc, r) != l {
 			t.Fatalf("pipeline round trip failed: opts=%+v row=%d line=%v", opts, r, l)
+		}
+		// The bulk-fill encoder must produce the identical bits: a fill
+		// of n slots stores the same encoded line n times.
+		if fill := p.EncodeFill(l, r, 3); fill != enc {
+			t.Fatalf("EncodeFill diverged from Encode: opts=%+v row=%d %v != %v", opts, r, fill, enc)
 		}
 	})
 }

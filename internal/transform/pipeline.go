@@ -83,7 +83,16 @@ func (p *Pipeline) Ops() int64 { return p.ops.Load() }
 
 // Encode transforms a cacheline for storage in the rank-level row rowIdx.
 func (p *Pipeline) Encode(l Line, rowIdx int) Line {
-	p.ops.Inc()
+	return p.EncodeFill(l, rowIdx, 1)
+}
+
+// EncodeFill encodes one line destined for n identical slots of row rowIdx.
+// The stages run once — the encoded bits are the same for every slot of a
+// row — but the accounting is charged n times, leaving the ops counter, the
+// zero-words histogram and the codec-event stream exactly as n Encode calls
+// would: the modelled transform hardware still processes every line.
+func (p *Pipeline) EncodeFill(l Line, rowIdx, n int) Line {
+	p.ops.Add(int64(n))
 	var stages int64
 	if p.opts.EBDI {
 		l = EBDIEncode(l)
@@ -101,13 +110,15 @@ func (p *Pipeline) Encode(l Line, rowIdx int) Line {
 		l = l.Invert()
 		stages |= trace.CodecInverted
 	}
-	p.zeroWords.Observe(zeros)
+	p.zeroWords.ObserveN(zeros, int64(n))
 	if p.tr != nil {
-		p.tr.Emit(trace.Event{
-			Kind: trace.KindCodecSelect,
-			Chip: -1, Bank: -1, Row: int32(rowIdx),
-			A: stages, B: zeros,
-		})
+		for i := 0; i < n; i++ {
+			p.tr.Emit(trace.Event{
+				Kind: trace.KindCodecSelect,
+				Chip: -1, Bank: -1, Row: int32(rowIdx),
+				A: stages, B: zeros,
+			})
+		}
 	}
 	return l
 }

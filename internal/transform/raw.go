@@ -10,6 +10,10 @@ type Raw struct{}
 // Encode returns the line unchanged.
 func (Raw) Encode(l Line, rowIdx int) Line { return l }
 
+// EncodeFill returns the line unchanged; the passthrough has no per-line
+// accounting to replicate.
+func (Raw) EncodeFill(l Line, rowIdx, n int) Line { return l }
+
 // Decode returns the line unchanged.
 func (Raw) Decode(l Line, rowIdx int) Line { return l }
 
