@@ -13,13 +13,17 @@
 #   make bench   - regenerate the paper's evaluation via the benchmark
 #                  harness (slow; minutes).
 #   make race    - just the race-sensitive packages, under -race.
-#   make perfbench - regenerate BENCH_5.json, the tracked hot-path
+#   make perfbench - regenerate BENCH_6.json, the tracked hot-path
 #                  microbenchmark baseline (cmd/zrbench): the
-#                  scalar-vs-batched datapath pairs and transform kernels.
+#                  scalar-vs-batched datapath pairs, transform kernels,
+#                  event-queue primitives and dense-vs-event window drivers.
+#   make perfdiff - gate BENCH_6.json against the previous committed
+#                  baseline generation (BENCH_5.json): fail if any shared
+#                  benchmark regressed more than 10%.
 
 GO ?= go
 
-.PHONY: check vet lint build test race bench perfbench
+.PHONY: check vet lint build test race bench perfbench perfdiff
 
 check: vet lint build
 	$(GO) test -race -short ./...
@@ -43,4 +47,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 perfbench:
-	$(GO) run ./cmd/zrbench -out BENCH_5.json -benchtime 300ms
+	$(GO) run ./cmd/zrbench -out BENCH_6.json -benchtime 300ms -count 3
+
+perfdiff:
+	$(GO) run ./cmd/zrbench -diff BENCH_5.json,BENCH_6.json -tolerance 0.10

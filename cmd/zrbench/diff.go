@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline comparison: the CI perfbench regression gate.
+//
+// Baseline generations evolve — BENCH_6 adds the event-core suites BENCH_5
+// never had — so the gate compares only the benchmarks both files share,
+// treats additions and removals as informational, and fails only when a
+// shared benchmark got more than `tolerance` slower in ns/op.
+
+// regression is one shared benchmark that slowed past tolerance.
+type regression struct {
+	key      string
+	oldNs    float64
+	newNs    float64
+	slowdown float64
+}
+
+// loadReport reads and validates one baseline file.
+func loadReport(path string) (report, error) {
+	var r report
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(doc, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	if r.Schema != "zrbench/1" {
+		return r, fmt.Errorf("%s: schema %q, want zrbench/1", path, r.Schema)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return r, nil
+}
+
+// benchKey identifies a benchmark across baseline generations.
+func benchKey(r result) string { return r.Package + "." + r.Name }
+
+// diffReports compares two baselines and returns the regressions in shared
+// benchmarks, plus the shared/added/removed partition for reporting.
+func diffReports(before, after report, tolerance float64) (regs []regression, shared, added, removed []string) {
+	oldNs := make(map[string]float64, len(before.Benchmarks))
+	for _, b := range before.Benchmarks {
+		oldNs[benchKey(b)] = b.NsPerOp
+	}
+	seen := make(map[string]bool, len(after.Benchmarks))
+	for _, b := range after.Benchmarks {
+		key := benchKey(b)
+		seen[key] = true
+		prev, ok := oldNs[key]
+		if !ok {
+			added = append(added, key)
+			continue
+		}
+		shared = append(shared, key)
+		if prev > 0 && b.NsPerOp > prev*(1+tolerance) {
+			regs = append(regs, regression{
+				key:      key,
+				oldNs:    prev,
+				newNs:    b.NsPerOp,
+				slowdown: b.NsPerOp/prev - 1,
+			})
+		}
+	}
+	for key := range oldNs {
+		if !seen[key] {
+			removed = append(removed, key)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(added)
+	sort.Strings(removed)
+	sort.Slice(regs, func(i, j int) bool { return regs[i].key < regs[j].key })
+	return regs, shared, added, removed
+}
+
+// runDiff implements the -diff mode: load OLD,NEW, compare, report, and
+// return an error when any shared benchmark regressed past tolerance.
+func runDiff(files string, tolerance float64, w io.Writer) error {
+	parts := strings.Split(files, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-diff wants OLD.json,NEW.json, got %q", files)
+	}
+	before, err := loadReport(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	after, err := loadReport(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	regs, shared, added, removed := diffReports(before, after, tolerance)
+	fmt.Fprintf(w, "zrbench diff: %d shared, %d added, %d removed (tolerance %.0f%%)\n",
+		len(shared), len(added), len(removed), tolerance*100)
+	for _, k := range added {
+		fmt.Fprintf(w, "  added:   %s\n", k)
+	}
+	for _, k := range removed {
+		fmt.Fprintf(w, "  removed: %s\n", k)
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "  REGRESSION: %s %.1f -> %.1f ns/op (+%.1f%%)\n",
+			r.key, r.oldNs, r.newNs, r.slowdown*100)
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%d shared benchmark(s) regressed past %.0f%%", len(regs), tolerance*100)
+	}
+	fmt.Fprintln(w, "  no regressions in shared benchmarks")
+	return nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func rep(benches ...result) report {
+	return report{Schema: "zrbench/1", BenchTime: "100ms", Benchmarks: benches}
+}
+
+func TestDiffReportsPartition(t *testing.T) {
+	before := rep(
+		result{Name: "BenchmarkA", Package: "internal/x", NsPerOp: 100},
+		result{Name: "BenchmarkB", Package: "internal/x", NsPerOp: 200},
+		result{Name: "BenchmarkGone", Package: "internal/x", NsPerOp: 50},
+	)
+	after := rep(
+		result{Name: "BenchmarkA", Package: "internal/x", NsPerOp: 105}, // +5%: inside tolerance
+		result{Name: "BenchmarkB", Package: "internal/x", NsPerOp: 260}, // +30%: regression
+		result{Name: "BenchmarkNew", Package: "internal/y", NsPerOp: 10},
+	)
+	regs, shared, added, removed := diffReports(before, after, 0.10)
+	if !reflect.DeepEqual(shared, []string{"internal/x.BenchmarkA", "internal/x.BenchmarkB"}) {
+		t.Fatalf("shared = %v", shared)
+	}
+	if !reflect.DeepEqual(added, []string{"internal/y.BenchmarkNew"}) {
+		t.Fatalf("added = %v", added)
+	}
+	if !reflect.DeepEqual(removed, []string{"internal/x.BenchmarkGone"}) {
+		t.Fatalf("removed = %v", removed)
+	}
+	if len(regs) != 1 || regs[0].key != "internal/x.BenchmarkB" {
+		t.Fatalf("regressions = %+v, want only BenchmarkB", regs)
+	}
+	if regs[0].slowdown < 0.29 || regs[0].slowdown > 0.31 {
+		t.Fatalf("slowdown = %v, want ~0.30", regs[0].slowdown)
+	}
+}
+
+func TestDiffReportsExactTolerance(t *testing.T) {
+	before := rep(result{Name: "BenchmarkA", Package: "p", NsPerOp: 100})
+	after := rep(result{Name: "BenchmarkA", Package: "p", NsPerOp: 110})
+	// Exactly at tolerance is not "past" it.
+	if regs, _, _, _ := diffReports(before, after, 0.10); len(regs) != 0 {
+		t.Fatalf("10%% slowdown at 10%% tolerance flagged: %+v", regs)
+	}
+	after.Benchmarks[0].NsPerOp = 110.2
+	if regs, _, _, _ := diffReports(before, after, 0.10); len(regs) != 1 {
+		t.Fatal("slowdown past tolerance not flagged")
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r report) string {
+	t.Helper()
+	doc, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", rep(
+		result{Name: "BenchmarkA", Package: "p", NsPerOp: 100}))
+	okPath := writeReport(t, dir, "ok.json", rep(
+		result{Name: "BenchmarkA", Package: "p", NsPerOp: 101},
+		result{Name: "BenchmarkNew", Package: "p", NsPerOp: 7}))
+	badPath := writeReport(t, dir, "bad.json", rep(
+		result{Name: "BenchmarkA", Package: "p", NsPerOp: 150}))
+
+	var out strings.Builder
+	if err := runDiff(oldPath+","+okPath, 0.10, &out); err != nil {
+		t.Fatalf("clean diff failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "added:   p.BenchmarkNew") {
+		t.Fatalf("added benchmark not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	err := runDiff(oldPath+","+badPath, 0.10, &out)
+	if err == nil {
+		t.Fatalf("regression not fatal:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: p.BenchmarkA") {
+		t.Fatalf("regression not reported:\n%s", out.String())
+	}
+}
+
+func TestRunDiffRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", rep(result{Name: "BenchmarkA", Package: "p", NsPerOp: 1}))
+	badSchema := writeReport(t, dir, "schema.json", report{Schema: "other/9",
+		Benchmarks: []result{{Name: "BenchmarkA", Package: "p", NsPerOp: 1}}})
+	var out strings.Builder
+	for _, files := range []string{
+		"only-one.json",
+		good + "," + filepath.Join(dir, "missing.json"),
+		good + "," + badSchema,
+	} {
+		if err := runDiff(files, 0.10, &out); err == nil {
+			t.Fatalf("runDiff(%q) accepted bad input", files)
+		}
+	}
+}

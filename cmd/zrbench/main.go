@@ -1,16 +1,28 @@
 // Command zrbench runs the simulator's hot-path microbenchmarks and emits a
-// machine-readable performance baseline. The committed BENCH_5.json at the
+// machine-readable performance baseline. The committed BENCH_6.json at the
 // repository root is its output: regenerate with `make perfbench` after any
-// datapath change and compare the scalar/batched pairs to see whether the
-// line-granular entry points still pay for themselves.
+// datapath or scheduler change. The suite covers the line-granular
+// scalar/batched pairs, the event-queue primitives, and the dense-vs-event
+// window drivers at several idle ratios.
 //
 // The report schema is deterministic — a fixed benchmark set, names sorted,
 // GOMAXPROCS suffixes stripped — so two runs differ only in the measured
-// ns/op values, never in shape.
+// ns/op values, never in shape. With -count > 1 each benchmark's lowest
+// ns/op repetition is kept: the least-interference measurement, which is
+// the stable quantity on shared runners.
+//
+// The -diff mode compares two baselines and fails on regressions, which is
+// how CI gates a PR against the previous baseline generation:
+//
+//	zrbench -diff BENCH_5.json,BENCH_6.json -tolerance 0.10
+//
+// Only benchmarks present in both files are compared (a new generation may
+// add suites); a shared benchmark more than tolerance slower fails.
 //
 // Usage:
 //
-//	zrbench [-out BENCH_5.json] [-benchtime 100ms] [-count 1]
+//	zrbench [-out BENCH_6.json] [-benchtime 100ms] [-count 1]
+//	zrbench -diff OLD.json,NEW.json [-tolerance 0.10]
 package main
 
 import (
@@ -32,11 +44,14 @@ type suite struct {
 }
 
 // suites is the fixed benchmark set of the baseline: the batched-datapath
-// pairs in the controller and refresh engine, and the transform kernels.
+// pairs in the controller and refresh engine, the transform kernels, the
+// event-queue primitive, and the dense-vs-event window drivers.
 var suites = []suite{
 	{"./internal/memctrl", "BenchmarkWriteLine|BenchmarkReadLine|BenchmarkWriteZeroRow"},
 	{"./internal/refresh", "BenchmarkAutoRefreshSet"},
 	{"./internal/transform", "BenchmarkBitPlaneInverse|BenchmarkPipelineEncodeDecode"},
+	{"./internal/engine", "BenchmarkEventQueuePushPop"},
+	{"./internal/core", "BenchmarkWindowsDense|BenchmarkWindowsEvent"},
 }
 
 // result is one benchmark measurement.
@@ -48,7 +63,7 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// report is the BENCH_5.json document.
+// report is the BENCH_6.json document.
 type report struct {
 	Schema     string   `json:"schema"`
 	BenchTime  string   `json:"benchtime"`
@@ -95,6 +110,28 @@ func parseBench(pkg string, out []byte) ([]result, error) {
 	return results, nil
 }
 
+// minByBench collapses -count repetitions of the same benchmark into the
+// repetition with the lowest ns/op: the measurement with the least
+// scheduler/noisy-neighbor interference, which is the stable quantity on
+// shared runners. Order of first appearance is preserved (run sorts the
+// final set anyway).
+func minByBench(all []result) []result {
+	idx := make(map[string]int, len(all))
+	var folded []result
+	for _, r := range all {
+		key := r.Package + "." + r.Name
+		if i, ok := idx[key]; ok {
+			if r.NsPerOp < folded[i].NsPerOp {
+				folded[i] = r
+			}
+			continue
+		}
+		idx[key] = len(folded)
+		folded = append(folded, r)
+	}
+	return folded
+}
+
 func run(out, benchtime string, count int) error {
 	var all []result
 	for _, s := range suites {
@@ -115,6 +152,7 @@ func run(out, benchtime string, count int) error {
 		}
 		all = append(all, results...)
 	}
+	all = minByBench(all)
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Package != all[j].Package {
 			return all[i].Package < all[j].Package
@@ -136,10 +174,19 @@ func run(out, benchtime string, count int) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output file, or - for stdout")
+	out := flag.String("out", "BENCH_6.json", "output file, or - for stdout")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark measurement time (go test -benchtime)")
 	count := flag.Int("count", 1, "benchmark repetitions (go test -count)")
+	diffFiles := flag.String("diff", "", "compare two baselines (OLD.json,NEW.json) instead of benchmarking; exits 1 on regressions")
+	tolerance := flag.Float64("tolerance", 0.10, "with -diff, allowed fractional ns/op slowdown in shared benchmarks")
 	flag.Parse()
+	if *diffFiles != "" {
+		if err := runDiff(*diffFiles, *tolerance, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "zrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *benchtime, *count); err != nil {
 		fmt.Fprintln(os.Stderr, "zrbench:", err)
 		os.Exit(1)

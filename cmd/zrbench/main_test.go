@@ -42,3 +42,21 @@ func TestParseBenchEmpty(t *testing.T) {
 		t.Fatalf("parseBench on no benchmarks = %v, %v", got, err)
 	}
 }
+
+func TestMinByBench(t *testing.T) {
+	got := minByBench([]result{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 120, AllocsPerOp: 1},
+		{Name: "BenchmarkB", Package: "p", NsPerOp: 50},
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkA", Package: "q", NsPerOp: 10},
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 110, AllocsPerOp: 3},
+	})
+	want := []result{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkB", Package: "p", NsPerOp: 50},
+		{Name: "BenchmarkA", Package: "q", NsPerOp: 10},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("minByBench = %+v, want %+v", got, want)
+	}
+}

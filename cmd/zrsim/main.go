@@ -28,9 +28,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,metrics,smoke,timeline,all")
+		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,metrics,smoke,timeline,longhorizon,all")
 		capacity = flag.Int64("capacity", 32, "simulated rank capacity in MB")
 		windows  = flag.Int("windows", 8, "measured retention windows")
+		engineID = flag.String("engine", "dense", "simulation core: dense (per-window loop) or events (event queue with idle-window skipping); results are identical")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 23)")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
@@ -64,6 +65,13 @@ func main() {
 		Windows:  *windows,
 		Seed:     *seed,
 	}
+	switch *engineID {
+	case "dense":
+	case "events":
+		o.Events = true
+	default:
+		fail(fmt.Errorf("unknown engine %q (want dense or events)", *engineID))
+	}
 	if *traceTo != "" {
 		o.Trace = trace.New(0)
 	}
@@ -82,7 +90,7 @@ func main() {
 	metricsOut = *metTo
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "compare", "cmdlevel", "power", "metrics", "smoke", "timeline"}
+		ids = []string{"table1", "table2", "fig4", "fig5", "fig6", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "compare", "cmdlevel", "power", "metrics", "smoke", "timeline", "longhorizon"}
 	}
 	for _, id := range ids {
 		fmt.Fprintf(os.Stderr, "zrsim: running %s...\n", id)
@@ -165,6 +173,8 @@ func run(id string, o sim.Options) error {
 		}
 		emit(t)
 		return writeTimeline(metricsOut, epochs)
+	case "longhorizon":
+		return show(sim.RunLongHorizon(o))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -66,6 +66,12 @@ func RunFig19(o ExperimentOptions) (*Table, error) { return sim.RunFig19(o) }
 // including the VRT safety hazard of static retention profiles.
 func RunComparison(o ExperimentOptions) (*Table, error) { return sim.RunComparison(o) }
 
+// RunLongHorizon is an extension experiment built on the event-driven
+// core: thousands of retention windows with sparse write bursts, idle
+// spans fast-forwarded through bulk replay — a horizon the dense window
+// loop cannot cover in comparable wall-clock time.
+func RunLongHorizon(o ExperimentOptions) (*Table, error) { return sim.RunLongHorizon(o) }
+
 // RunCmdLevel is an extension experiment validating the refresh
 // interference results on the command-level DDR engine (ACT/RD/WR/PRE/REF
 // with Table II timing constraints).

@@ -2,8 +2,10 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Determinism protects the golden-stats bit-identity contract: a simulation
@@ -17,6 +19,15 @@ import (
 // process state, Seed because it mutates it, New/NewSource because ad-hoc
 // generators bypass the sanctioned PRNG). A deliberately seeded local RNG
 // can be kept with //zr:allow(determinism) stating why.
+//
+// The event queue adds a third hazard: its (time, kind, rank, seq) order
+// breaks ties by insertion sequence, so *scheduling from map iteration*
+// bakes Go's randomized map order into the event schedule — two runs pop
+// equal-time events differently and the golden streams diverge. Calls that
+// enqueue events (Push/Schedule on the engine package's types, and any
+// Schedule*-prefixed helper built on them) are flagged inside the body of
+// a range over a map; iterate a sorted key slice instead, or annotate
+// //zr:allow(determinism) where the order provably cannot matter.
 type Determinism struct{}
 
 // Name implements Analyzer.
@@ -24,7 +35,7 @@ func (Determinism) Name() string { return "determinism" }
 
 // Doc implements Analyzer.
 func (Determinism) Doc() string {
-	return "no time.Now or math/rand in simulation code; randomness comes from seeded rng.SplitMix"
+	return "no time.Now, math/rand, or map-iteration-order event scheduling in simulation code"
 }
 
 // Run implements Analyzer.
@@ -58,5 +69,69 @@ func (Determinism) Run(prog *Program, report func(pos token.Pos, msg string)) {
 				}
 			}
 		}
+		checkMapOrderScheduling(prog, pkg, report)
 	}
+}
+
+// checkMapOrderScheduling flags event-enqueueing calls lexically inside the
+// body of a range over a map (function literals defined in the body
+// included: they capture the iteration variables, so their schedule order
+// is the map's too).
+func checkMapOrderScheduling(prog *Program, pkg *Package, report func(pos token.Pos, msg string)) {
+	for _, file := range pkg.Files {
+		var mapBodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if tv, ok := pkg.Info.Types[rs.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mapBodies = append(mapBodies, rs.Body)
+				}
+			}
+			return true
+		})
+		if len(mapBodies) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || !schedulesEvents(fn, prog.Config) {
+				return true
+			}
+			for _, body := range mapBodies {
+				if call.Pos() > body.Pos() && call.Pos() < body.End() {
+					report(call.Pos(), fmt.Sprintf(
+						"%s inside map iteration schedules events in map order, which varies run to run; iterate a sorted key slice instead",
+						fn.Name()))
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// schedulesEvents reports whether a call to fn enqueues an event: Push or
+// Schedule on the engine package's queue types, or any Schedule*-prefixed
+// function or method (the scheduling surface the layers build on the
+// queue: Schedule, ScheduleWriteBurst, ScheduleRetentionChecks, ...).
+func schedulesEvents(fn *types.Func, cfg Config) bool {
+	if strings.HasPrefix(fn.Name(), "Schedule") {
+		return true
+	}
+	if fn.Name() != "Push" || cfg.EnginePath == "" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	n := namedOf(recv.Type())
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == cfg.EnginePath
 }

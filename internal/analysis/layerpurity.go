@@ -32,16 +32,18 @@ func (Layerpurity) Doc() string {
 }
 
 // dramMutators is the charge-state-mutating slice of the rank contract:
-// the scalar methods and their line-granular batched equivalents
-// (WriteLineWords, RefreshGroup, FillRowWords), which perform the same
-// state transitions a cacheline or refresh diagonal at a time.
+// the scalar methods, their line-granular batched equivalents
+// (WriteLineWords, RefreshGroup, FillRowWords), and the bulk idle replay
+// (ReplayRefreshGroup), which perform the same state transitions a
+// cacheline, refresh diagonal, or idle-window run at a time.
 var dramMutators = map[string]bool{
-	"WriteWord":      true,
-	"Refresh":        true,
-	"MarkSpared":     true,
-	"WriteLineWords": true,
-	"RefreshGroup":   true,
-	"FillRowWords":   true,
+	"WriteWord":          true,
+	"Refresh":            true,
+	"MarkSpared":         true,
+	"WriteLineWords":     true,
+	"RefreshGroup":       true,
+	"FillRowWords":       true,
+	"ReplayRefreshGroup": true,
 }
 
 // metricValueTypes are the types only metrics.Registry may construct.

@@ -1,0 +1,23 @@
+// Package engine is the fixture's event-queue seam: Push and Schedule on
+// its types are event-enqueueing operations whose call order must never
+// depend on map iteration.
+package engine
+
+// Event is a minimal ordered event.
+type Event struct {
+	Time int64
+	Rank int32
+	Fn   func(now int64)
+}
+
+// EventQueue is a stand-in for the real priority queue; only the method
+// set matters to the analyzer.
+type EventQueue struct{ events []Event }
+
+// Push enqueues one event.
+func (q *EventQueue) Push(e Event) { q.events = append(q.events, e) }
+
+// Schedule enqueues fn at time t.
+func (q *EventQueue) Schedule(t int64, rank int32, fn func(now int64)) {
+	q.Push(Event{Time: t, Rank: rank, Fn: fn})
+}

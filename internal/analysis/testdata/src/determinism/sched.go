@@ -1,0 +1,85 @@
+package determinism
+
+import (
+	"sort"
+
+	"determinism/engine"
+)
+
+// system models a layer built on the queue: its Schedule*-prefixed surface
+// is scheduling whether or not the queue type appears at the call site.
+type system struct{ q *engine.EventQueue }
+
+func (s *system) ScheduleWriteBurst(t int64, fn func(now int64)) {
+	s.q.Schedule(t, -1, fn)
+}
+
+func mapOrderPush(q *engine.EventQueue, deadlines map[int32]int64) {
+	for rank, t := range deadlines {
+		q.Push(engine.Event{Time: t, Rank: rank}) // want "Push inside map iteration schedules events in map order"
+	}
+}
+
+func mapOrderSchedule(q *engine.EventQueue, deadlines map[int32]int64) {
+	for rank, t := range deadlines {
+		q.Schedule(t, rank, nil) // want "Schedule inside map iteration"
+	}
+}
+
+func mapOrderHelper(s *system, bursts map[int]int64) {
+	for _, t := range bursts {
+		s.ScheduleWriteBurst(t, nil) // want "ScheduleWriteBurst inside map iteration"
+	}
+}
+
+func mapOrderClosure(q *engine.EventQueue, deadlines map[int32]int64) {
+	for rank, t := range deadlines {
+		retry := func() {
+			q.Schedule(t, rank, nil) // want "Schedule inside map iteration"
+		}
+		retry()
+	}
+}
+
+func sliceOrder(q *engine.EventQueue, deadlines []int64) {
+	for rank, t := range deadlines {
+		q.Push(engine.Event{Time: t, Rank: int32(rank)})
+	}
+}
+
+func sortedOrder(q *engine.EventQueue, deadlines map[int32]int64) {
+	ranks := make([]int32, 0, len(deadlines))
+	for rank := range deadlines {
+		ranks = append(ranks, rank)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for _, rank := range ranks {
+		q.Schedule(deadlines[rank], rank, nil)
+	}
+}
+
+func mapReadOnly(counts map[string]int64) int64 {
+	var sum int64
+	for _, v := range counts {
+		sum += v
+	}
+	return sum
+}
+
+func allowedMapOrder(q *engine.EventQueue, deadlines map[int32]int64) {
+	for rank, t := range deadlines {
+		q.Schedule(t, rank, nil) //zr:allow(determinism) single-entry map in this configuration; order cannot matter
+	}
+}
+
+// pusher is an unrelated type outside the engine package: its Push is a
+// plain collection append, not event scheduling.
+type pusher struct{ xs []int64 }
+
+func (p *pusher) Push(x int64) { p.xs = append(p.xs, x) }
+
+func unrelatedPush(p *pusher, m map[int]int64) {
+	for _, v := range m {
+		p.Push(v)
+	}
+}

@@ -15,6 +15,7 @@ type backend interface {
 	WriteLineWords(row int, words [8]uint64) bool
 	RefreshGroup(rows [8]int) uint16
 	FillRowWords(row int, words [8]uint64)
+	ReplayRefreshGroup(rows [8]int, windows int64)
 }
 
 func direct(m *dram.Module) bool {
@@ -25,6 +26,7 @@ func direct(m *dram.Module) bool {
 func directBatched(m *dram.Module) bool {
 	m.FillRowWords(0, [8]uint64{})             // want "mutates DRAM cell state on concrete"
 	m.RefreshGroup([8]int{})                   // want "mutates DRAM cell state on concrete"
+	m.ReplayRefreshGroup([8]int{}, 4)          // want "mutates DRAM cell state on concrete"
 	return m.WriteLineWords(0, [8]uint64{1})   // want "mutates DRAM cell state on concrete"
 }
 
@@ -33,6 +35,7 @@ func throughInterface(b backend) bool {
 	b.WriteLineWords(0, [8]uint64{1})
 	b.RefreshGroup([8]int{})
 	b.FillRowWords(0, [8]uint64{})
+	b.ReplayRefreshGroup([8]int{}, 4)
 	return b.Refresh(0)
 }
 

@@ -143,6 +143,11 @@ type System struct {
 	// window boundary, so each epoch's Delta covers exactly one window.
 	timeline []Epoch
 	lastSnap metrics.Snapshot
+
+	// ev holds the event-driven execution state (see events.go); it is
+	// armed lazily by the first Schedule/RunUntil/RunEvents call, so
+	// dense-only systems pay nothing for it.
+	ev eventState
 }
 
 // NewSystem builds and wires a system.
@@ -313,26 +318,32 @@ func (s *System) CleansePage(page int) error {
 // this). A panic in a rank shard is recovered by engine.ForEach and
 // re-raised here with the rank index attached.
 func (s *System) RunWindow() refresh.CycleStats {
-	if len(s.Ranks) == 1 {
-		return s.RunWindowSequential()
-	}
-	perRank := make([]refresh.CycleStats, len(s.Ranks))
-	if err := engine.ForEach(len(s.Ranks), func(i int) error {
-		perRank[i] = s.Ranks[i].Engine.RunCycle(s.Clock)
-		return nil
-	}); err != nil {
-		panic(err) // only a *engine.PanicError from a rank shard can land here
-	}
-	return s.mergeWindow(perRank)
+	return s.runWindow(len(s.Ranks) > 1)
 }
 
 // RunWindowSequential is the reference implementation of RunWindow: every
 // rank's window executed in rank order on the calling goroutine. The
 // golden-stats test checks RunWindow against it bit for bit.
 func (s *System) RunWindowSequential() refresh.CycleStats {
+	return s.runWindow(false)
+}
+
+// runWindow is the one canonical window implementation behind both entry
+// points: collect each rank's cycle into a rank-indexed slice — on up to
+// GOMAXPROCS workers when parallel — and fold it deterministically.
+func (s *System) runWindow(parallel bool) refresh.CycleStats {
 	perRank := make([]refresh.CycleStats, len(s.Ranks))
-	for i := range s.Ranks {
-		perRank[i] = s.Ranks[i].Engine.RunCycle(s.Clock)
+	if parallel {
+		if err := engine.ForEach(len(s.Ranks), func(i int) error {
+			perRank[i] = s.Ranks[i].Engine.RunCycle(s.Clock)
+			return nil
+		}); err != nil {
+			panic(err) // only a *engine.PanicError from a rank shard can land here
+		}
+	} else {
+		for i := range s.Ranks {
+			perRank[i] = s.Ranks[i].Engine.RunCycle(s.Clock)
+		}
 	}
 	return s.mergeWindow(perRank)
 }

@@ -1,0 +1,144 @@
+package refresh
+
+import (
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/engine"
+)
+
+// Idle-window bulk replay.
+//
+// When no write has touched a rank since its last retention window, the
+// next window is a fixed point of the engine: the access bits are all
+// clear, so every AR takes the bit-clear path, the status table is never
+// rewritten, and the skip/refresh partition of the steps is exactly the
+// partition of the previous window. Running k such windows one by one
+// repeats identical work k times; ReplayIdleCycles collapses the run into
+// one pass over the step space with the per-window effects applied in
+// bulk. The result — cell state, counter totals, histogram contents,
+// CycleStats — is bit-identical to k dense RunCycle calls, which the
+// differential tests pin.
+
+// Idle reports whether every access bit is clear: no write has touched the
+// rank since the last AR covering the written set. Only then is the next
+// window a pure replay of the previous one.
+func (e *Engine) Idle() bool {
+	for _, bits := range e.accessBits {
+		for _, b := range bits {
+			if b {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CanReplayIdle reports whether ReplayIdleCycles may take its bulk fast
+// path right now. Beyond idleness it needs the conditions under which the
+// replay is provably identical to the dense loop: no tracer (per-step skip
+// events carry growing run lengths that cannot be synthesized in bulk),
+// the rank-synchronous status design (per-chip status refreshes partial
+// groups), the LineChips group-refresh geometry, and a backend that
+// implements the bulk engine.IdleReplayer extension.
+func (e *Engine) CanReplayIdle() bool {
+	if e.tr != nil || e.cfg.PerChipStatus || e.scalarStep || e.chips != dram.LineChips {
+		return false
+	}
+	if _, ok := e.mod.(engine.IdleReplayer); !ok {
+		return false
+	}
+	return e.Idle()
+}
+
+// ReplayIdleCycles runs k consecutive retention windows starting at start
+// — the window the dense loop would run as RunCycle(start),
+// RunCycle(start+TRET), … — and returns their accumulated CycleStats.
+// When CanReplayIdle holds it does so in one O(banks·rows) pass
+// independent of k; otherwise it falls back to k dense cycles, so callers
+// may invoke it unconditionally.
+func (e *Engine) ReplayIdleCycles(start dram.Time, k int64) CycleStats {
+	tret := e.mod.Config().Timing.TRET
+	if k <= 0 {
+		return CycleStats{Start: start, End: start}
+	}
+	rep, _ := e.mod.(engine.IdleReplayer)
+	if k == 1 || rep == nil || !e.CanReplayIdle() {
+		stats := CycleStats{Start: start}
+		for c := int64(0); c < k; c++ {
+			stats.Add(e.RunCycle(start + dram.Time(c)*tret))
+		}
+		return stats
+	}
+
+	interval := tret / dram.Time(e.numARs)
+	var refreshedPerCycle, skippedPerCycle, fullySkippedARsPerCycle int64
+	for bank := 0; bank < e.banks; bank++ {
+		for t := 0; t < e.numARs; t++ {
+			// The cursor is untouched: k full cycles advance it k·numARs
+			// times, which is the identity. Tick t issues the set the
+			// dense loop would.
+			set := (e.arCursor[bank] + t) % e.numARs
+			now := start + dram.Time(t)*interval
+			first := set * e.cfg.RowsPerAR
+			refreshed := 0
+			for n := first; n < first+e.cfg.RowsPerAR; n++ {
+				if e.cfg.Skip && e.status[bank][n] == e.fullMask {
+					// Skipped in every replayed window: the run just grows.
+					e.skipRun[bank][n] += int32(k)
+					skippedPerCycle++
+					continue
+				}
+				// Refreshed in every replayed window. The first refresh
+				// terminates any accumulated skip run (as dense noteRefresh
+				// would); the k-1 after it see a zero run and observe
+				// nothing.
+				refreshed++
+				if run := e.skipRun[bank][n]; run > 0 {
+					e.dischargedRunLen.Observe(int64(run))
+					e.skipRun[bank][n] = 0
+				}
+				var rows [dram.LineChips]int
+				if e.cfg.Stagger {
+					block := n / e.chips * e.chips
+					for chip := range rows {
+						rows[chip] = block + (chip+n)%e.chips
+					}
+				} else {
+					for chip := range rows {
+						rows[chip] = n
+					}
+				}
+				rep.ReplayRefreshGroup(bank, rows, now, tret, k)
+			}
+			refreshedPerCycle += int64(refreshed)
+			if refreshed == 0 {
+				fullySkippedARsPerCycle++
+			}
+			e.lastSetRefreshed[bank][set] = refreshed
+		}
+	}
+
+	arPerCycle := int64(e.banks) * int64(e.numARs)
+	stats := CycleStats{
+		Steps:           k * int64(e.banks) * int64(e.rowsPerBank),
+		Refreshed:       k * refreshedPerCycle,
+		Skipped:         k * skippedPerCycle,
+		TableRows:       k * int64(e.StatusTableRows()),
+		ARCommands:      k * arPerCycle,
+		FullySkippedARs: k * fullySkippedARsPerCycle,
+		Start:           start,
+		End:             start + dram.Time(k)*tret,
+	}
+	stats.ChipRefreshed = stats.Refreshed * int64(e.chips)
+	stats.ChipSkipped = stats.Skipped * int64(e.chips)
+	if e.cfg.StatusInDRAM {
+		stats.StatusReads = k * arPerCycle
+	}
+	e.arCommands.Add(stats.ARCommands)
+	e.stepsConsidered.Add(stats.Steps)
+	e.stepsRefreshed.Add(stats.Refreshed)
+	e.stepsSkipped.Add(stats.Skipped)
+	e.statusReads.Add(stats.StatusReads)
+	e.fullySkippedARs.Add(stats.FullySkippedARs)
+	e.tableRowRefreshes.Add(stats.TableRows)
+	return stats
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"zerorefresh/internal/workload"
+)
+
+// The core-level differential tests pin the event loop against RunWindow on
+// raw systems; these pin the sim layer's drivers — the scenario runner and
+// the policy-family comparator — so the -engine=events surface is covered
+// end to end.
+
+func TestEventScenarioMatchesDense(t *testing.T) {
+	p, _ := workload.ByName("mcf")
+	o := quickOptions()
+	dense, err := RunScenario(o, p, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Events = true
+	ev, err := RunScenario(o, p, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dense.Cycles, ev.Cycles) {
+		t.Fatalf("cycle stats diverge:\ndense %+v\nevent %+v", dense.Cycles, ev.Cycles)
+	}
+	if dense.NormRefresh != ev.NormRefresh || dense.NormEnergy != ev.NormEnergy {
+		t.Fatalf("metrics diverge: refresh %v vs %v, energy %v vs %v",
+			dense.NormRefresh, ev.NormRefresh, dense.NormEnergy, ev.NormEnergy)
+	}
+	if dense.EBDIOps != ev.EBDIOps {
+		t.Fatalf("EBDI ops diverge: %d vs %d", dense.EBDIOps, ev.EBDIOps)
+	}
+	if !reflect.DeepEqual(dense.Metrics, ev.Metrics) {
+		t.Fatal("metrics snapshots diverge between dense and event scenario runs")
+	}
+}
+
+func TestEventComparisonMatchesDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison sweep is slow")
+	}
+	o := quickOptions()
+	dense, err := RunComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Events = true
+	ev, err := RunComparison(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dense.Rows, ev.Rows) {
+		t.Fatalf("comparison tables diverge:\ndense %v\nevent %v", dense.Rows, ev.Rows)
+	}
+}
+
+func TestLongHorizonShape(t *testing.T) {
+	o := quickOptions()
+	o.Windows = 1 // 1024-window horizon: long enough to prove replay, quick in CI
+	tb, err := RunLongHorizon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 burst spacings, got %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r.Values[0] != 1024 {
+			t.Fatalf("%s: ran %v windows, want 1024", r.Name, r.Values[0])
+		}
+		if r.Values[1] < 0.9 {
+			t.Fatalf("%s: replayed fraction %.3f, want >0.9 on a sparse horizon", r.Name, r.Values[1])
+		}
+		if r.Values[4] != 0 {
+			t.Fatalf("%s: %v probe violations, want 0", r.Name, r.Values[4])
+		}
+	}
+}

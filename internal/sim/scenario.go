@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"zerorefresh/internal/core"
+	"zerorefresh/internal/dram"
 	"zerorefresh/internal/energy"
 	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/ostrace"
@@ -52,6 +53,11 @@ type Options struct {
 	// Timeline enables per-window epoch capture; runs report it via
 	// ScenarioResult.Timeline.
 	Timeline bool
+	// Events drives the run through the event-driven core (write bursts
+	// scheduled on the system's event queue, idle windows fast-forwarded
+	// in bulk) instead of the dense per-window loop. Results are
+	// observationally identical; only wall-clock cost differs.
+	Events bool
 }
 
 // withDefaults fills unset fields.
@@ -168,18 +174,41 @@ func runScenario(o Options, prof workload.Profile, allocFrac float64, extended b
 		return res, fillErr
 	}
 
-	for w := 0; w < o.Warmup; w++ {
-		sys.RunWindow()
-	}
-
-	opsBefore := sys.Pipeline.Ops()
 	allocated := alloc.AllocatedPageIndices()
-	for w := 0; w < o.Windows; w++ {
-		if err := applyWindowWrites(sys, prof, allocated, o.Seed, w); err != nil {
-			return res, err
+	var opsBefore int64
+	if o.Events {
+		// Event-driven run: the warmup and measured windows pop off the
+		// system's event queue, with each measured window's write burst
+		// scheduled at the window boundary the dense loop applies it at.
+		tret := sys.DRAM.Config().Timing.TRET
+		sys.RunUntil(sys.Clock + dram.Time(o.Warmup)*tret)
+		opsBefore = sys.Pipeline.Ops()
+		base := sys.Clock
+		var burstErr error
+		for w := 0; w < o.Windows; w++ {
+			w := w
+			sys.ScheduleWriteBurst(base+dram.Time(w)*tret, func(dram.Time) {
+				if err := applyWindowWrites(sys, prof, allocated, o.Seed, w); err != nil && burstErr == nil {
+					burstErr = err
+				}
+			})
 		}
-		st := sys.RunWindow()
-		res.Cycles.Add(st)
+		res.Cycles = sys.RunUntil(base + dram.Time(o.Windows)*tret)
+		if burstErr != nil {
+			return res, burstErr
+		}
+	} else {
+		for w := 0; w < o.Warmup; w++ {
+			sys.RunWindow()
+		}
+		opsBefore = sys.Pipeline.Ops()
+		for w := 0; w < o.Windows; w++ {
+			if err := applyWindowWrites(sys, prof, allocated, o.Seed, w); err != nil {
+				return res, err
+			}
+			st := sys.RunWindow()
+			res.Cycles.Add(st)
+		}
 	}
 
 	// Energy accounting: the EBDI module runs on writes (counted by the
@@ -243,8 +272,7 @@ func applyWindowWrites(sys *core.System, prof workload.Profile, allocated []int,
 		return nil
 	}
 	dcfg := sys.DRAM.Config()
-	n := prof.WrittenRowsPerWindow(dcfg.RowBytes, dcfg.Timing.TRET)
-	for _, i := range workload.PickRows(workload.Hash(seed, workload.HashString(prof.Name)), window, len(allocated), n) {
+	for _, i := range prof.WindowWriteSet(seed, window, len(allocated), dcfg.RowBytes, dcfg.Timing.TRET) {
 		if err := sys.FillPageFromProfile(prof, allocated[i], seed, uint64(window)+1); err != nil {
 			return err
 		}

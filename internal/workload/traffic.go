@@ -81,6 +81,18 @@ func (p Profile) TouchedRowsPerWindow(rowBytes int, window dram.Time) int {
 	return rows
 }
 
+// WindowWriteSet returns the indices (into a wsRows-long allocated region)
+// of the rows the profile dirties in retention window `window`: the
+// written footprint of the window's length, sampled deterministically in
+// (seed, profile, window). It is the one canonical write plan shared by
+// the dense experiment loop and the event-driven scheduler — both must
+// replay exactly the same stores for the differential tests to pin them
+// against each other.
+func (p Profile) WindowWriteSet(seed uint64, window, wsRows, rowBytes int, windowLen dram.Time) []int {
+	n := p.WrittenRowsPerWindow(rowBytes, windowLen)
+	return PickRows(Hash(seed, HashString(p.Name)), window, wsRows, n)
+}
+
 // PickRows samples n distinct row indices (working-set locality: rows are
 // drawn from the first wsRows rows, wrapping if n exceeds it). The sample
 // is deterministic in (seed, window).
