@@ -5,10 +5,13 @@
 #                  (benchmarks excluded via -short; the golden-stats and
 #                  concurrency tests still run and exercise the sharded
 #                  paths).
-#   make lint    - the domain-aware static analysis (cmd/zrlint):
-#                  determinism, atomic-field consistency, layer purity,
+#   make lint    - the domain-aware static analysis (cmd/zrlint), eight
+#                  analyzers: determinism, transitive determinism taint,
+#                  atomic-field consistency, hot-path allocation freedom
+#                  (//zr:hotpath roots), layer purity, lock-order cycles,
 #                  must-use results, lock safety. Findings fail the build
-#                  unless annotated //zr:allow(<analyzer>).
+#                  unless annotated //zr:allow(<analyzer>); stale
+#                  suppressions are findings too.
 #   make test    - the plain tier-1 suite, as CI runs it.
 #   make bench   - regenerate the paper's evaluation via the benchmark
 #                  harness (slow; minutes).

@@ -1,6 +1,8 @@
 // Command zrlint runs the simulator's domain-aware static analysis over
-// the module: determinism (no wall clock, no global RNG), atomic-field
-// consistency, layer purity (DRAM mutation and metric minting ownership),
+// the module: determinism (no wall clock, no global RNG), transitive
+// determinism taint through the call graph, atomic-field consistency,
+// hot-path allocation freedom under //zr:hotpath roots, layer purity (DRAM
+// mutation and metric minting ownership), lock-order cycle detection,
 // must-use results, and lock safety across blocking operations. See
 // internal/analysis for the invariants and the //zr:allow(<analyzer>)
 // suppression syntax.
@@ -12,12 +14,18 @@
 // Packages default to ./... . The exit status is 1 when findings remain, 2
 // on loading errors, so `make lint` fails exactly when an invariant is
 // broken without an acknowledging annotation.
+//
+// -json emits the findings as a JSON array (empty array for a clean tree)
+// with one {file, line, column, analyzer, message} object per finding, in
+// the same deterministic (file, line, column, analyzer) order as the text
+// output; CI uploads it as a workflow artifact on every run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -31,6 +39,32 @@ type jsonDiagnostic struct {
 	Column   int    `json:"column"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+}
+
+// writeJSON renders diagnostics in the stable -json schema. Ordering is
+// whatever Analyze produced (sorted by file, line, column, analyzer), and
+// a clean tree is the empty array, never null.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic, rel func(string) string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     rel(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeText renders diagnostics in the conventional file:line:col form.
+func writeText(w io.Writer, diags []analysis.Diagnostic, rel func(string) string) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
 }
 
 func main() {
@@ -53,26 +87,12 @@ func main() {
 	diags := analysis.Analyze(prog, analysis.All()...)
 
 	if *jsonOut {
-		out := make([]jsonDiagnostic, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiagnostic{
-				File:     relPath(d.Pos.Filename),
-				Line:     d.Pos.Line,
-				Column:   d.Pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := writeJSON(os.Stdout, diags, relPath); err != nil {
 			fmt.Fprintln(os.Stderr, "zrlint:", err)
 			os.Exit(2)
 		}
 	} else {
-		for _, d := range diags {
-			fmt.Printf("%s:%d:%d: %s: %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-		}
+		writeText(os.Stdout, diags, relPath)
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

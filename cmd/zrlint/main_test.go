@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zerorefresh/internal/analysis"
+)
+
+// TestSelfScanClean is the self-application gate: the full analyzer suite
+// over the whole module must report nothing. A regression here means a
+// change either broke an invariant or forgot its //zr:allow justification.
+func TestSelfScanClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-scan type-checks the whole module; skipped under -short")
+	}
+	prog, err := analysis.LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	diags := analysis.Analyze(prog, analysis.All()...)
+	for _, d := range diags {
+		t.Errorf("self-scan finding: %s", d)
+	}
+
+	// The clean tree is the golden -json output: exactly the empty array.
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags, func(s string) string { return s }); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("clean-tree JSON = %q, want []", got)
+	}
+}
+
+// fakeDiags builds a small unsorted-looking (but Analyze-ordered) set for
+// schema tests without loading anything.
+func fakeDiags() []analysis.Diagnostic {
+	return []analysis.Diagnostic{
+		{Pos: token.Position{Filename: "/abs/a.go", Line: 3, Column: 2}, Analyzer: "determinism", Message: "m1"},
+		{Pos: token.Position{Filename: "/abs/a.go", Line: 3, Column: 9}, Analyzer: "hotpath", Message: "m2"},
+		{Pos: token.Position{Filename: "/abs/b.go", Line: 1, Column: 1}, Analyzer: "lockorder", Message: "m3"},
+	}
+}
+
+// TestJSONSchemaStable pins the -json wire shape: field names, ordering,
+// and byte-for-byte determinism across encodes.
+func TestJSONSchemaStable(t *testing.T) {
+	rel := func(s string) string { return strings.TrimPrefix(s, "/abs/") }
+
+	var first bytes.Buffer
+	if err := writeJSON(&first, fakeDiags(), rel); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+
+	var decoded []map[string]any
+	if err := json.Unmarshal(first.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("want 3 findings, got %d", len(decoded))
+	}
+	for i, obj := range decoded {
+		for _, key := range []string{"file", "line", "column", "analyzer", "message"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("finding %d missing schema key %q", i, key)
+			}
+		}
+		if len(obj) != 5 {
+			t.Errorf("finding %d has %d keys, want exactly 5 (schema drift)", i, len(obj))
+		}
+	}
+	if decoded[0]["file"] != "a.go" || decoded[2]["file"] != "b.go" {
+		t.Errorf("rel mapping or order broken: %v", decoded)
+	}
+	if decoded[0]["analyzer"] != "determinism" || decoded[1]["analyzer"] != "hotpath" {
+		t.Errorf("same-line findings must keep analyzer order: %v", decoded)
+	}
+
+	var second bytes.Buffer
+	if err := writeJSON(&second, fakeDiags(), rel); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("JSON output is not byte-for-byte deterministic")
+	}
+}
+
+// TestTextOutput pins the file:line:col rendering `make lint` prints.
+func TestTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	writeText(&buf, fakeDiags()[:1], func(s string) string { return s })
+	if got, want := buf.String(), "/abs/a.go:3:2: determinism: m1\n"; got != want {
+		t.Errorf("text output = %q, want %q", got, want)
+	}
+}

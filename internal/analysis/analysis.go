@@ -17,9 +17,21 @@
 //   - mustuse: dropped errors and discarded accessor results.
 //   - locksafe: no mutex held across a channel send or engine.ForEach.
 //
+// Three analyzers are interprocedural, sharing the conservative call graph
+// built in callgraph.go:
+//
+//   - hotpath: functions annotated //zr:hotpath, and everything reachable
+//     from them, must be free of heap-allocating constructs.
+//   - dettaint: transitive determinism — a helper that reaches time.Now or
+//     the global math/rand through any call chain taints its callers.
+//   - lockorder: cross-package lock-acquisition-order cycles (potential
+//     deadlocks), reported with both acquisition paths.
+//
 // A finding can be acknowledged in place with a `//zr:allow(<analyzer>)`
 // comment on the offending line or the line above it; the comment is the
-// audit trail for why the invariant is deliberately bent there.
+// audit trail for why the invariant is deliberately bent there. An allow
+// comment that suppresses nothing is itself reported (stalesuppress), so
+// dead suppressions cannot rot in place.
 package analysis
 
 import (
@@ -80,6 +92,9 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
 	Config   Config
+
+	// cg caches the demand-built call graph; see Program.CallGraph.
+	cg *CallGraph
 }
 
 // Diagnostic is one finding of one analyzer.
@@ -113,14 +128,18 @@ func All() []Analyzer {
 	return []Analyzer{
 		Atomicfield{},
 		Determinism{},
+		Dettaint{},
+		Hotpath{},
 		Layerpurity{},
+		Lockorder{},
 		Locksafe{},
 		Mustuse{},
 	}
 }
 
 // Analyze runs the analyzers over the program, drops findings acknowledged
-// by //zr:allow comments, and returns the rest sorted by position.
+// by //zr:allow comments, reports allow comments that suppressed nothing,
+// and returns the rest sorted by position.
 func Analyze(prog *Program, analyzers ...Analyzer) []Diagnostic {
 	var files []*ast.File
 	for _, p := range prog.Packages {
@@ -130,8 +149,10 @@ func Analyze(prog *Program, analyzers ...Analyzer) []Diagnostic {
 
 	var diags []Diagnostic
 	seen := make(map[Diagnostic]bool)
+	ran := make(map[string]bool)
 	for _, a := range analyzers {
 		name := a.Name()
+		ran[name] = true
 		a.Run(prog, func(pos token.Pos, msg string) {
 			p := prog.Fset.Position(pos)
 			if sup.Allows(p, name) {
@@ -144,6 +165,23 @@ func Analyze(prog *Program, analyzers ...Analyzer) []Diagnostic {
 			seen[d] = true
 			diags = append(diags, d)
 		})
+	}
+
+	// A suppression that suppressed nothing is dead weight: either the
+	// finding it acknowledged was fixed (delete the comment) or the name is
+	// misspelled (the finding it meant to cover is being reported anyway).
+	// Only names among the analyzers that actually ran can be judged.
+	for _, e := range sup.Stale(ran) {
+		d := Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "stalesuppress",
+			Message:  fmt.Sprintf("//zr:allow(%s) suppresses no %s diagnostic; remove the stale suppression", e.name, e.name),
+		}
+		if sup.Allows(e.pos, "stalesuppress") || seen[d] {
+			continue
+		}
+		seen[d] = true
+		diags = append(diags, d)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

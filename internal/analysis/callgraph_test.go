@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadFixture is a test helper returning the program for one fixture tree.
+func loadFixture(t *testing.T, name string) *Program {
+	t.Helper()
+	prog, err := LoadTree(filepath.Join("testdata", "src"), name, fixtureConfig(name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return prog
+}
+
+// edgeTo reports whether n has an outgoing edge of the given kind to a
+// callee with the given display name.
+func edgeTo(n *CGNode, kind EdgeKind, callee string) bool {
+	for _, e := range n.Out {
+		if e.Kind == kind && e.Callee.Name() == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphDirectCalls(t *testing.T) {
+	g := loadFixture(t, "hotpath").CallGraph()
+
+	root := g.Lookup("hotpath.Root")
+	if root == nil {
+		t.Fatal("hotpath.Root not in call graph")
+	}
+	if !edgeTo(root, EdgeCall, "hotpath.helperA") {
+		t.Error("Root should have a direct edge to helperA")
+	}
+	a := g.Lookup("hotpath.helperA")
+	if a == nil || !edgeTo(a, EdgeCall, "hotpath.helperB") {
+		t.Error("helperA should have a direct edge to helperB")
+	}
+}
+
+func TestCallGraphInterfaceResolution(t *testing.T) {
+	g := loadFixture(t, "hotpath").CallGraph()
+
+	push := g.Lookup("engine.Queue.Push")
+	if push == nil {
+		t.Fatal("engine.Queue.Push not in call graph")
+	}
+	// b.Step dispatches through the Backend interface; the only declared
+	// implementation is hotpath.Impl, so Push must resolve to Impl.Step.
+	if !edgeTo(push, EdgeInterface, "hotpath.Impl.Step") {
+		t.Errorf("Push should resolve Backend.Step to hotpath.Impl.Step; edges: %v", edgeNames(push))
+	}
+}
+
+func TestCallGraphFuncValueEdges(t *testing.T) {
+	g := loadFixture(t, "hotpath").CallGraph()
+
+	apply := g.Lookup("hotpath.Apply")
+	if apply == nil {
+		t.Fatal("hotpath.Apply not in call graph")
+	}
+	if !edgeTo(apply, EdgeCall, "hotpath.run") {
+		t.Error("Apply should call run directly")
+	}
+	if !edgeTo(apply, EdgeFuncValue, "hotpath.helperC") {
+		t.Errorf("Apply should have a func-value edge to helperC (passed as argument); edges: %v", edgeNames(apply))
+	}
+	// The callee identifier of a direct call must not also produce a
+	// func-value edge.
+	for _, e := range apply.Out {
+		if e.Kind == EdgeFuncValue && e.Callee.Name() == "hotpath.run" {
+			t.Error("direct callee run double-counted as a func-value edge")
+		}
+	}
+}
+
+func TestCallGraphReachability(t *testing.T) {
+	g := loadFixture(t, "hotpath").CallGraph()
+
+	root := g.Lookup("hotpath.Root")
+	seen := g.reachableFrom([]*CGNode{root})
+	b := g.Lookup("hotpath.helperB")
+	if _, ok := seen[b]; !ok {
+		t.Fatal("helperB should be reachable from Root")
+	}
+	if got, want := chainTo(seen, b), "hotpath.Root → hotpath.helperA → hotpath.helperB"; got != want {
+		t.Errorf("chain = %q, want %q", got, want)
+	}
+	if cold := g.Lookup("hotpath.Cold"); cold == nil {
+		t.Error("Cold should be a call-graph node")
+	} else if _, ok := seen[cold]; ok {
+		t.Error("Cold must not be reachable from Root")
+	}
+}
+
+func edgeNames(n *CGNode) []string {
+	var names []string
+	for _, e := range n.Out {
+		names = append(names, e.Kind.String()+":"+e.Callee.Name())
+	}
+	return names
+}

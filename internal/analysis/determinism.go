@@ -14,7 +14,8 @@ import (
 // test. Simulation packages must thread dram.Time explicitly and draw all
 // randomness from rng.SplitMix seeded by explicit coordinates.
 //
-// Flagged: time.Now, every package-level function of math/rand and
+// Flagged: time.Now/Since/Until (wall-clock reads), time.Tick/Sleep
+// (wall-clock pacing), every package-level function of math/rand and
 // math/rand/v2 (the global draws Intn/Float64/... because they share
 // process state, Seed because it mutates it, New/NewSource because ad-hoc
 // generators bypass the sanctioned PRNG). A deliberately seeded local RNG
@@ -53,8 +54,13 @@ func (Determinism) Run(prog *Program, report func(pos token.Pos, msg string)) {
 			}
 			switch fn.Pkg().Path() {
 			case "time":
-				if fn.Name() == "Now" {
-					report(id.Pos(), "time.Now breaks bit-identical replay; thread dram.Time through the call path instead")
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					report(id.Pos(), fmt.Sprintf(
+						"time.%s reads the wall clock and breaks bit-identical replay; thread dram.Time through the call path instead", fn.Name()))
+				case "Tick", "Sleep":
+					report(id.Pos(), fmt.Sprintf(
+						"time.%s couples simulation progress to the wall clock; advance dram.Time through the event queue instead", fn.Name()))
 				}
 			case "math/rand", "math/rand/v2":
 				switch fn.Name() {

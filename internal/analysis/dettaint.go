@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Dettaint is the interprocedural half of the determinism contract. The
+// intraprocedural determinism analyzer flags the leaf call — time.Now two
+// frames below a simulation loop is invisible to it. Dettaint taints the
+// leaves (time.Now/Since/Until/Tick/Sleep and the package-level math/rand
+// surface, the same set determinism names) and propagates taint backwards
+// through the call graph: every call site whose callee transitively
+// reaches a leaf is reported, with the witness chain from the callee down
+// to the leaf, so the nondeterminism is actionable at the frame where the
+// caller chose the helper.
+//
+// A leaf acknowledged with //zr:allow(determinism) (the deliberately
+// seeded local RNG, the wall-clock log timestamp) does not taint its
+// function: the suppression at the leaf is the single audit point and
+// callers stay clean. An individual call-site report can be acknowledged
+// with //zr:allow(dettaint).
+type Dettaint struct{}
+
+// Name implements Analyzer.
+func (Dettaint) Name() string { return "dettaint" }
+
+// Doc implements Analyzer.
+func (Dettaint) Doc() string {
+	return "no call chain from simulation code to time.Now/math/rand, however deep"
+}
+
+// deterministicLeaf names the nondeterministic leaf a call resolves to
+// ("time.Now", "math/rand.Intn"), or "" when the call is harmless.
+func deterministicLeaf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		// Methods (e.g. on an injected, seeded *rand.Rand) are the
+		// caller's own state, exactly as in the intraprocedural analyzer.
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until", "Tick", "Sleep":
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return ""
+}
+
+// Run implements Analyzer.
+func (Dettaint) Run(prog *Program, report func(pos token.Pos, msg string)) {
+	g := prog.CallGraph()
+
+	var files []*ast.File
+	for _, p := range prog.Packages {
+		files = append(files, p.Files...)
+	}
+	sup := CollectSuppressions(prog.Fset, files)
+
+	// Deterministic node order: declaration order of the loaded packages.
+	var order []*CGNode
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if node := g.Node(fn); node != nil {
+					order = append(order, node)
+				}
+			}
+		}
+	}
+
+	// Direct taint: a body calls a leaf, and the leaf call is not
+	// acknowledged with //zr:allow(determinism) in place.
+	witness := make(map[*CGNode]string)
+	var queue []*CGNode
+	for _, node := range order {
+		leaf := directLeaf(node, sup, prog.Fset)
+		if leaf == "" {
+			continue
+		}
+		witness[node] = node.Name() + " → " + leaf
+		queue = append(queue, node)
+	}
+	if len(witness) == 0 {
+		return
+	}
+
+	// Reverse-BFS propagation: a caller of a tainted function is tainted,
+	// with the callee's witness chain extended by one frame.
+	callers := make(map[*CGNode][]*CGNode)
+	for _, node := range order {
+		for _, e := range node.Out {
+			callers[e.Callee] = append(callers[e.Callee], node)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, caller := range callers[n] {
+			if _, ok := witness[caller]; ok {
+				continue
+			}
+			witness[caller] = caller.Name() + " → " + witness[n]
+			queue = append(queue, caller)
+		}
+	}
+
+	// Report every edge into a tainted callee at its call site.
+	for _, node := range order {
+		for _, e := range node.Out {
+			w, tainted := witness[e.Callee]
+			if !tainted {
+				continue
+			}
+			verb := "call to"
+			if e.Kind == EdgeFuncValue {
+				verb = "reference to"
+			}
+			report(e.Pos, fmt.Sprintf(
+				"%s %s transitively reaches nondeterminism (%s); thread dram.Time / a seeded rng.SplitMix instead",
+				verb, e.Callee.Name(), w))
+		}
+	}
+}
+
+// directLeaf scans a node's body for an unacknowledged nondeterministic
+// leaf call and returns the leaf's name, or "".
+func directLeaf(node *CGNode, sup *Suppressions, fset *token.FileSet) string {
+	leaf := ""
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if leaf != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := deterministicLeaf(calleeFunc(node.Pkg.Info, call))
+		if name == "" {
+			return true
+		}
+		if sup.Allows(fset.Position(call.Pos()), "determinism") {
+			// The leaf is the audit point; acknowledged there, the
+			// function does not taint its callers.
+			return true
+		}
+		leaf = name
+		return false
+	})
+	return leaf
+}

@@ -37,9 +37,15 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}{
 		{Atomicfield{}, "atomicfield"},
 		{Determinism{}, "determinism"},
+		{Dettaint{}, "dettaint"},
+		{Hotpath{}, "hotpath"},
 		{Layerpurity{}, "layerpurity"},
+		{Lockorder{}, "lockorder"},
 		{Locksafe{}, "locksafe"},
 		{Mustuse{}, "mustuse"},
+		// The stale-suppression fixture runs under determinism: the used
+		// allow stays silent, the dead ones are reported by the driver.
+		{Determinism{}, "stalesuppress"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -122,7 +128,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		names[a.Name()] = true
 	}
-	for _, expect := range []string{"atomicfield", "determinism", "layerpurity", "locksafe", "mustuse"} {
+	for _, expect := range []string{"atomicfield", "determinism", "dettaint", "hotpath", "layerpurity", "lockorder", "locksafe", "mustuse"} {
 		if !names[expect] {
 			t.Errorf("analyzer %q missing from All()", expect)
 		}

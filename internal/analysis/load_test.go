@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadTreeTypecheckError: a fixture that fails to type-check must come
+// back as an error naming the package, never a panic.
+func TestLoadTreeTypecheckError(t *testing.T) {
+	_, err := LoadTree(filepath.Join("testdata", "src"), "broken", fixtureConfig("broken"))
+	if err == nil {
+		t.Fatal("expected a type-check error for testdata/src/broken")
+	}
+	if !strings.Contains(err.Error(), "typecheck") || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error should name the typecheck stage and the package: %v", err)
+	}
+}
+
+// TestLoadTreeMissing: a nonexistent subtree is an error, not a panic.
+func TestLoadTreeMissing(t *testing.T) {
+	if _, err := LoadTree(filepath.Join("testdata", "src"), "no-such-fixture", fixtureConfig("x")); err == nil {
+		t.Fatal("expected an error for a missing fixture subtree")
+	}
+}
+
+// TestLoadTreePackages: a healthy multi-package fixture loads every
+// package with comments preserved (the suppression and want machinery
+// depend on ParseComments).
+func TestLoadTreePackages(t *testing.T) {
+	prog := loadFixture(t, "lockorder")
+	want := map[string]bool{
+		"lockorder":       false,
+		"lockorder/res":   false,
+		"lockorder/alpha": false,
+		"lockorder/beta":  false,
+	}
+	for _, pkg := range prog.Packages {
+		if _, ok := want[pkg.Path]; ok {
+			want[pkg.Path] = true
+		}
+		if len(pkg.Files) == 0 {
+			t.Errorf("package %s loaded no files", pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			if f.Comments == nil {
+				t.Errorf("package %s parsed without comments", pkg.Path)
+			}
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("package %s missing from the loaded program", path)
+		}
+	}
+}

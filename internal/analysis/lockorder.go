@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lockorder extends locksafe from "what is held here" to "in what order is
+// anything ever acquired": it builds a module-wide lock-acquisition-order
+// graph and reports its cycles, the static signature of an AB/BA deadlock
+// that no single function (and no intraprocedural analyzer) can see.
+//
+// Per function, the same straight-line walk as locksafe tracks the held
+// set; acquiring k while h is held contributes the order edge h → k. The
+// interprocedural half closes the graph over calls: the set of locks each
+// function may acquire (directly or transitively, via the call graph) is
+// computed to a fixpoint, and calling g while h is held contributes h → k
+// for every k that g can acquire — so an inversion split across packages,
+// with the second acquisition buried in a helper, still closes the cycle.
+//
+// Lock identity is canonical across packages: a mutex field is keyed
+// "pkg/path.Type.field" (one key for all instances of the type — the usual
+// granularity for order disciplines, and the reason self-edges h → h are
+// ignored rather than reported), a package-level mutex "pkg/path.var", and
+// a function-local mutex stays scoped to its function. Each cycle is
+// reported once, with the acquisition path behind every edge (file:line of
+// both the hold and the acquisition, plus the call chain when the second
+// lock is taken in a callee).
+type Lockorder struct{}
+
+// Name implements Analyzer.
+func (Lockorder) Name() string { return "lockorder" }
+
+// Doc implements Analyzer.
+func (Lockorder) Doc() string {
+	return "no cycles in the module-wide lock-acquisition-order graph"
+}
+
+// lockFacts is what one function body contributes to the order graph.
+type lockFacts struct {
+	// acquires maps each lock key the body directly acquires to the first
+	// acquisition site.
+	acquires map[string]token.Pos
+	// acquireOrder lists the keys of acquires in source order.
+	acquireOrder []string
+	// intra are the h → k edges visible inside the body itself.
+	intra []orderEdge
+	// calls records every module call made while a lock is held.
+	calls []heldCall
+}
+
+type orderEdge struct {
+	from, to       string
+	fromPos, toPos token.Pos
+}
+
+type heldCall struct {
+	held    string
+	heldPos token.Pos
+	edge    *CGEdge
+}
+
+// acqWitness says where (and through which call chain) a function may
+// acquire a lock.
+type acqWitness struct {
+	pos   token.Pos
+	chain string
+}
+
+// orderEvidence is the first-seen concrete justification for one h → k
+// edge of the order graph.
+type orderEvidence struct {
+	desc string
+	pos  token.Pos
+}
+
+// Run implements Analyzer.
+func (Lockorder) Run(prog *Program, report func(pos token.Pos, msg string)) {
+	g := prog.CallGraph()
+
+	var order []*CGNode
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if node := g.Node(fn); node != nil {
+					order = append(order, node)
+				}
+			}
+		}
+	}
+
+	facts := make(map[*CGNode]*lockFacts)
+	anyLocks := false
+	for _, node := range order {
+		f := collectLockFacts(node)
+		facts[node] = f
+		if len(f.acquires) > 0 {
+			anyLocks = true
+		}
+	}
+	if !anyLocks {
+		return
+	}
+
+	// Fixpoint: star[f][k] = f may acquire k, with a witness chain.
+	star := make(map[*CGNode]map[string]acqWitness)
+	for _, node := range order {
+		m := make(map[string]acqWitness)
+		for _, k := range facts[node].acquireOrder {
+			m[k] = acqWitness{pos: facts[node].acquires[k], chain: node.Name()}
+		}
+		star[node] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range order {
+			for _, e := range node.Out {
+				callee := star[e.Callee]
+				if len(callee) == 0 {
+					continue
+				}
+				for _, k := range sortedKeys(callee) {
+					if _, ok := star[node][k]; ok {
+						continue
+					}
+					w := callee[k]
+					star[node][k] = acqWitness{pos: w.pos, chain: node.Name() + " → " + w.chain}
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Order-graph edges with first-seen evidence.
+	edges := make(map[[2]string]orderEvidence)
+	addEdge := func(from, to string, ev orderEvidence) {
+		if from == to {
+			return
+		}
+		key := [2]string{from, to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = ev
+		}
+	}
+	pos := func(p token.Pos) string {
+		q := prog.Fset.Position(p)
+		return fmt.Sprintf("%s:%d", filepath.Base(q.Filename), q.Line)
+	}
+	for _, node := range order {
+		f := facts[node]
+		for _, e := range f.intra {
+			addEdge(e.from, e.to, orderEvidence{
+				desc: fmt.Sprintf("%s holds %s (%s) and acquires %s (%s)",
+					node.Name(), e.from, pos(e.fromPos), e.to, pos(e.toPos)),
+				pos: e.toPos,
+			})
+		}
+		for _, hc := range f.calls {
+			callee := star[hc.edge.Callee]
+			for _, k := range sortedKeys(callee) {
+				w := callee[k]
+				addEdge(hc.held, k, orderEvidence{
+					desc: fmt.Sprintf("%s holds %s (%s) and calls %s, which acquires %s (%s, via %s)",
+						node.Name(), hc.held, pos(hc.heldPos), hc.edge.Callee.Name(), k, pos(w.pos), w.chain),
+					pos: hc.edge.Pos,
+				})
+			}
+		}
+	}
+
+	reportCycles(edges, report)
+}
+
+// collectLockFacts runs the straight-line held-lock walk over one body.
+func collectLockFacts(node *CGNode) *lockFacts {
+	f := &lockFacts{acquires: make(map[string]token.Pos)}
+	info := node.Pkg.Info
+
+	// Call-graph edges indexed by call position, to resolve module calls
+	// encountered during the walk.
+	edgesAt := make(map[token.Pos][]*CGEdge)
+	for _, e := range node.Out {
+		edgesAt[e.Pos] = append(edgesAt[e.Pos], e)
+	}
+
+	held := make(map[string]token.Pos)
+	var heldOrder []string
+	deferred := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Its own execution context, walked when its edges fire.
+			return false
+		case *ast.DeferStmt:
+			if kind, _, ok := lockCall(info, n.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				deferred[n.Call] = true
+			}
+		case *ast.CallExpr:
+			if kind, _, ok := lockCall(info, n); ok {
+				key := lockKey(node, n)
+				if key == "" {
+					return true
+				}
+				switch kind {
+				case "Lock", "RLock":
+					if _, ok := f.acquires[key]; !ok {
+						f.acquires[key] = n.Pos()
+						f.acquireOrder = append(f.acquireOrder, key)
+					}
+					for _, h := range heldOrder {
+						if _, still := held[h]; still && h != key {
+							f.intra = append(f.intra, orderEdge{from: h, to: key, fromPos: held[h], toPos: n.Pos()})
+						}
+					}
+					if _, already := held[key]; !already {
+						held[key] = n.Pos()
+						heldOrder = append(heldOrder, key)
+					}
+				case "Unlock", "RUnlock":
+					if !deferred[n] {
+						delete(held, key)
+					}
+				}
+				return true
+			}
+			for _, e := range edgesAt[n.Pos()] {
+				for _, h := range heldOrder {
+					if _, still := held[h]; still {
+						f.calls = append(f.calls, heldCall{held: h, heldPos: held[h], edge: e})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// lockKey derives a canonical cross-package identity for the mutex a
+// Lock/Unlock call operates on, or "" when no stable identity exists.
+func lockKey(node *CGNode, call *ast.CallExpr) string {
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return mutexKey(node, sel.X)
+}
+
+// mutexKey keys the mutex-valued expression expr:
+//
+//	x.mu        -> pkg/path.Type.mu   (field on a named type)
+//	pkg.Gate    -> pkg/path.Gate      (package-level var)
+//	local       -> pkg/path.Func#local (function-scoped)
+//	s (embedded)-> key of s itself
+func mutexKey(node *CGNode, expr ast.Expr) string {
+	info := node.Pkg.Info
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if fieldSel, ok := info.Selections[e]; ok && fieldSel.Kind() == types.FieldVal {
+			if named := namedOf(fieldSel.Recv()); named != nil && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+			// Field on an unnamed receiver: fall back to the inner key.
+			if inner := mutexKey(node, e.X); inner != "" {
+				return inner + "." + e.Sel.Name
+			}
+			return ""
+		}
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			// Qualified package-level var: other.Gate.
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// A local (or receiver/parameter) mutex value: if its type embeds
+		// the mutex in a named struct, key by the type; else stay
+		// function-scoped.
+		if named := namedOf(v.Type()); named != nil && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+		return v.Pkg().Path() + "." + node.Fn.Name() + "#" + v.Name()
+	}
+	return ""
+}
+
+// reportCycles finds the strongly connected components of the order graph
+// and reports one representative cycle per component, with the evidence
+// behind every edge of the cycle.
+func reportCycles(edges map[[2]string]orderEvidence, report func(pos token.Pos, msg string)) {
+	adj := make(map[string][]string)
+	nodeSet := make(map[string]bool)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodeSet[key[0]], nodeSet[key[1]] = true, true
+	}
+	var nodes []string
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan SCC, deterministic by sorted node and edge order.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		sort.Strings(scc)
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		cycle := shortestCycle(scc[0], adj, inSCC)
+		if cycle == nil {
+			continue
+		}
+		var parts []string
+		for i := 0; i < len(cycle)-1; i++ {
+			parts = append(parts, edges[[2]string{cycle[i], cycle[i+1]}].desc)
+		}
+		first := edges[[2]string{cycle[0], cycle[1]}]
+		report(first.pos, fmt.Sprintf(
+			"lock-order cycle %s is a potential deadlock: %s",
+			strings.Join(cycle, " → "), strings.Join(parts, "; ")))
+	}
+}
+
+// shortestCycle BFSes from start back to start inside one SCC and returns
+// the node sequence start, ..., start; deterministic given sorted adjacency.
+func shortestCycle(start string, adj map[string][]string, inSCC map[string]bool) []string {
+	parent := make(map[string]string)
+	queue := []string{start}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !inSCC[w] {
+				continue
+			}
+			if w == start {
+				cycle := []string{start}
+				var rev []string
+				for at := v; at != start; at = parent[at] {
+					rev = append(rev, at)
+				}
+				for i := len(rev) - 1; i >= 0; i-- {
+					cycle = append(cycle, rev[i])
+				}
+				return append(cycle, start)
+			}
+			if !visited[w] {
+				visited[w] = true
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the keys of m in sorted order.
+func sortedKeys(m map[string]acqWitness) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -8,21 +8,35 @@ import (
 )
 
 // allowRe matches //zr:allow(name) and //zr:allow(name1, name2) comments.
-// Anything after the closing parenthesis is free-form justification.
-var allowRe = regexp.MustCompile(`//\s*zr:allow\(([A-Za-z0-9_,\s]+)\)`)
+// Anything after the closing parenthesis is free-form justification. The
+// pattern is anchored to the start of the comment token: a suppression is
+// the comment's purpose, so prose that merely mentions `//zr:allow(x)`
+// mid-sentence (analyzer docs do) neither suppresses nor goes stale.
+var allowRe = regexp.MustCompile(`^//\s*zr:allow\(([A-Za-z0-9_,\s]+)\)`)
+
+// allowEntry is one analyzer name from one //zr:allow comment. Allows marks
+// entries used as diagnostics hit them; entries still unused after every
+// analyzer has run are stale suppressions.
+type allowEntry struct {
+	name string
+	pos  token.Position
+	used bool
+}
 
 // Suppressions indexes //zr:allow comments by file and line. A diagnostic
 // is suppressed when an allow comment naming its analyzer sits on the same
 // line (trailing comment) or on the line directly above (own-line comment).
 type Suppressions struct {
-	// byFile maps filename -> line -> analyzer names allowed there.
-	byFile map[string]map[int][]string
+	// byFile maps filename -> line -> allow entries declared there.
+	byFile map[string]map[int][]*allowEntry
+	// order preserves declaration order for deterministic stale reporting.
+	order []*allowEntry
 }
 
 // CollectSuppressions scans the comments of the given files (which must
 // have been parsed with parser.ParseComments under fset).
 func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
-	s := &Suppressions{byFile: make(map[string]map[int][]string)}
+	s := &Suppressions{byFile: make(map[string]map[int][]*allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -33,10 +47,14 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 				pos := fset.Position(c.Pos())
 				lines := s.byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]*allowEntry)
 					s.byFile[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], names...)
+				for _, name := range names {
+					e := &allowEntry{name: name, pos: pos}
+					lines[pos.Line] = append(lines[pos.Line], e)
+					s.order = append(s.order, e)
+				}
 			}
 		}
 	}
@@ -59,18 +77,34 @@ func parseAllow(text string) []string {
 }
 
 // Allows reports whether a diagnostic from the named analyzer at pos is
-// acknowledged by a //zr:allow comment.
+// acknowledged by a //zr:allow comment, and marks every matching entry as
+// used.
 func (s *Suppressions) Allows(pos token.Position, analyzer string) bool {
 	lines := s.byFile[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == analyzer {
-				return true
+		for _, e := range lines[line] {
+			if e.name == analyzer {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// Stale returns, in declaration order, the entries that suppressed nothing,
+// restricted to the analyzer names in ran: an allow for an analyzer that
+// was not part of this run cannot be judged stale.
+func (s *Suppressions) Stale(ran map[string]bool) []*allowEntry {
+	var stale []*allowEntry
+	for _, e := range s.order {
+		if !e.used && ran[e.name] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
 }

@@ -20,6 +20,7 @@ func TestParseAllow(t *testing.T) {
 		{"// plain comment", nil},
 		{"//zr:allow()", nil},
 		{"// zrallow(determinism)", nil},
+		{"// findings are acknowledged with //zr:allow(locksafe) in place", nil},
 	}
 	for _, tc := range cases {
 		if got := parseAllow(tc.text); !reflect.DeepEqual(got, tc.want) {
@@ -61,5 +62,50 @@ func f() {
 	}
 	if sup.Allows(token.Position{Filename: "q.go", Line: 4}, "mustuse") {
 		t.Error("suppressions must be scoped to their file")
+	}
+}
+
+// TestSuppressionsStale: entries that never suppressed anything are stale,
+// but only for analyzer names that actually ran.
+func TestSuppressionsStale(t *testing.T) {
+	src := `package p
+
+func f() {
+	a() //zr:allow(mustuse) used below
+	b() //zr:allow(locksafe) never matched
+	//zr:allow(mustuse, determinism) multi-name: one used, one dead
+	c()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := CollectSuppressions(fset, []*ast.File{f})
+
+	// Simulate the driver: a mustuse diagnostic on line 4 and one on
+	// line 7 are suppressed; nothing hits the locksafe or determinism
+	// entries.
+	if !sup.Allows(token.Position{Filename: "p.go", Line: 4, Column: 2}, "mustuse") {
+		t.Fatal("line 4 mustuse should be suppressed")
+	}
+	if !sup.Allows(token.Position{Filename: "p.go", Line: 7, Column: 2}, "mustuse") {
+		t.Fatal("line 7 mustuse should be suppressed (allow on the line above)")
+	}
+
+	ran := map[string]bool{"mustuse": true, "determinism": true}
+	stale := sup.Stale(ran)
+	if len(stale) != 1 {
+		t.Fatalf("want exactly one stale entry (determinism, line 6), got %d", len(stale))
+	}
+	if stale[0].name != "determinism" || stale[0].pos.Line != 6 {
+		t.Errorf("stale entry = %s at line %d, want determinism at line 6", stale[0].name, stale[0].pos.Line)
+	}
+	// locksafe did not run, so its dead entry is not judged; once it runs,
+	// it is.
+	ran["locksafe"] = true
+	if stale := sup.Stale(ran); len(stale) != 2 {
+		t.Errorf("with locksafe ran, want 2 stale entries, got %d", len(stale))
 	}
 }

@@ -1,0 +1,7 @@
+// Package broken fails to type-check; the loader must surface the error
+// instead of panicking.
+package broken
+
+func Oops() int {
+	return "not an int"
+}

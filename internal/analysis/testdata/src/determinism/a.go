@@ -8,7 +8,23 @@ import (
 )
 
 func wallClock() int64 {
-	return time.Now().UnixNano() // want "time.Now breaks bit-identical replay"
+	return time.Now().UnixNano() // want "time.Now reads the wall clock and breaks bit-identical replay"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock and breaks bit-identical replay"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until reads the wall clock and breaks bit-identical replay"
+}
+
+func pace() {
+	time.Sleep(time.Millisecond) // want "time.Sleep couples simulation progress to the wall clock"
+}
+
+func metronome() <-chan time.Time {
+	return time.Tick(time.Second) // want "time.Tick couples simulation progress to the wall clock"
 }
 
 func globalDraw() int {

@@ -1,0 +1,50 @@
+// Package dettaint exercises transitive determinism taint: the leaves are
+// the intraprocedural determinism analyzer's job, so the wants here sit
+// only on the call sites whose callees reach a leaf through helpers.
+package dettaint
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now() // leaf: flagged by determinism, not dettaint
+}
+
+func helper() int64 {
+	return now().UnixNano() // want "call to dettaint.now transitively reaches nondeterminism .dettaint.now → time.Now."
+}
+
+func Caller() int64 {
+	return helper() // want "call to dettaint.helper transitively reaches nondeterminism .dettaint.helper → dettaint.now → time.Now."
+}
+
+func draw() int {
+	return rand.Intn(6) // leaf: determinism's report, not ours
+}
+
+func Roll() int {
+	return draw() // want "call to dettaint.draw transitively reaches nondeterminism .dettaint.draw → math/rand.Intn."
+}
+
+func pick(f func() int) int { return f() }
+
+func Use() int {
+	return pick(draw) // want "reference to dettaint.draw transitively reaches nondeterminism"
+}
+
+func seeded() int64 {
+	r := rand.New(rand.NewSource(42)) //zr:allow(determinism) deliberately seeded local generator for this fixture
+	return r.Int63()
+}
+
+func UsesSeeded() int64 {
+	return seeded() // ok: the leaf is acknowledged at its audit point, callers stay clean
+}
+
+func pure(a, b int) int { return a + b }
+
+func Clean() int {
+	return pure(1, 2) // ok: nothing in this chain reaches a leaf
+}

@@ -1,0 +1,21 @@
+// Package engine is the fixture's interface seam: Queue.Push is a hot
+// root that dispatches through Backend, so the analyzer must resolve the
+// interface to its declared implementation in the parent package.
+package engine
+
+// Backend is the narrow seam hot code dispatches through.
+type Backend interface {
+	Step(n int) int
+}
+
+// Queue owns a pre-sized heap; appending into the field is steady-state
+// reuse and must stay legal.
+type Queue struct {
+	heap []int
+}
+
+//zr:hotpath
+func (q *Queue) Push(v int, b Backend) int {
+	q.heap = append(q.heap, v) // ok: append into a field reuses capacity
+	return b.Step(v)
+}

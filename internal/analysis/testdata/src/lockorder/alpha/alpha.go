@@ -1,0 +1,12 @@
+// Package alpha acquires Store.MuA, then reaches Store.MuB through the
+// res.LockB helper — one half of a two-package inversion.
+package alpha
+
+import "lockorder/res"
+
+func AThenB(s *res.Store) {
+	s.MuA.Lock()
+	s.LockB() // want "lock-order cycle lockorder/res.Store.MuA → lockorder/res.Store.MuB → lockorder/res.Store.MuA is a potential deadlock"
+	s.UnlockB()
+	s.MuA.Unlock()
+}

@@ -1,0 +1,12 @@
+// Package beta inverts alpha's order: Store.MuB held while Store.MuA is
+// acquired. Neither package alone has a cycle; together they deadlock.
+package beta
+
+import "lockorder/res"
+
+func BThenA(s *res.Store) {
+	s.MuB.Lock()
+	s.MuA.Lock() // the second half of the inversion; the cycle is reported at alpha's edge
+	s.MuA.Unlock()
+	s.MuB.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package lockorder seeds a same-package inversion: Forward takes m1 then
+// m2, Backward takes m2 then m1 — the minimal AB/BA cycle.
+package lockorder
+
+import "sync"
+
+var m1, m2 sync.Mutex
+
+func Forward() {
+	m1.Lock()
+	m2.Lock() // want "lock-order cycle lockorder.m1 → lockorder.m2 → lockorder.m1 is a potential deadlock"
+	m2.Unlock()
+	m1.Unlock()
+}
+
+func Backward() {
+	m2.Lock()
+	m1.Lock() // the inverted acquisition: reported once, on the cycle's first edge above
+	m1.Unlock()
+	m2.Unlock()
+}
+
+func Nested() {
+	m1.Lock()
+	m2.Lock() // same order as Forward: contributes no new edge, no report
+	m2.Unlock()
+	m1.Unlock()
+}

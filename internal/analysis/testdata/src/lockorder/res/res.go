@@ -1,0 +1,19 @@
+// Package res owns the two mutexes the alpha and beta packages acquire in
+// opposite orders; LockB hides the second acquisition behind a call so the
+// inversion is only visible interprocedurally.
+package res
+
+import "sync"
+
+type Store struct {
+	MuA sync.Mutex
+	MuB sync.Mutex
+}
+
+func (s *Store) LockB() {
+	s.MuB.Lock()
+}
+
+func (s *Store) UnlockB() {
+	s.MuB.Unlock()
+}

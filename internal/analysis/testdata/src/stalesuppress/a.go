@@ -1,0 +1,20 @@
+// Package stalesuppress exercises dead-suppression reporting: an allow
+// that acknowledges a real finding stays silent, an allow that suppresses
+// nothing is itself the finding.
+package stalesuppress
+
+import "time"
+
+func wall() int64 {
+	return time.Now().UnixNano() //zr:allow(determinism) wall clock for a log banner, never enters simulation state
+}
+
+//zr:allow(determinism) nothing on the next line draws entropy // want "suppresses no determinism diagnostic; remove the stale suppression"
+func quiet() int {
+	return 1
+}
+
+//zr:allow(locksafe, determinism) the locksafe half is not judged when only determinism runs // want "//zr:allow.determinism. suppresses no determinism diagnostic"
+func mixed() int {
+	return 2
+}

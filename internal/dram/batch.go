@@ -48,7 +48,7 @@ func (m *Module) activateRow(chip, bank, rowIdx int, now Time, traced bool) (*ro
 	b := m.banks[chip*m.cfg.Banks+bank]
 	r := b[rowIdx]
 	if r == nil {
-		r = &row{lastRecharge: now}
+		r = &row{lastRecharge: now} //zr:allow(hotpath) one-time lazy row materialization, amortized over the run
 		b[rowIdx] = r
 	}
 	var decays int64
@@ -68,6 +68,8 @@ func (m *Module) activateRow(chip, bank, rowIdx int, now Time, traced bool) (*ro
 // scattered — and reports whether every touched chip-row is fully
 // discharged afterwards. It is the batched equivalent of eight WriteWord
 // calls and leaves identical state, counters and trace events behind.
+//
+//zr:hotpath
 func (m *Module) WriteLineWords(bank, rowIdx, slot int, words [LineChips]uint64, now Time) bool {
 	m.checkLine(bank, rowIdx, slot)
 	wordsPerRow := m.cfg.WordsPerChipRow()
@@ -85,7 +87,7 @@ func (m *Module) WriteLineWords(bank, rowIdx, slot int, words [LineChips]uint64,
 		idx += m.cfg.Banks
 		r := b[rowIdx]
 		if r == nil {
-			r = &row{lastRecharge: now}
+			r = &row{lastRecharge: now} //zr:allow(hotpath) one-time lazy row materialization, amortized over the run
 			b[rowIdx] = r
 		} else if r.chargedWords > 0 && now-r.lastRecharge > tret {
 			r.decay()
@@ -133,6 +135,8 @@ func (m *Module) WriteLineWords(bank, rowIdx, slot int, words [LineChips]uint64,
 // ReadLineWords returns word slot `slot` of the same (bank, row) in all
 // LineChips chips, applying the retention model as the hardware would. It
 // is the batched equivalent of eight ReadWord calls.
+//
+//zr:hotpath
 func (m *Module) ReadLineWords(bank, rowIdx, slot int, now Time) [LineChips]uint64 {
 	m.checkLine(bank, rowIdx, slot)
 	ct := m.cfg.CellTypeOf(rowIdx)
@@ -146,7 +150,7 @@ func (m *Module) ReadLineWords(bank, rowIdx, slot int, now Time) [LineChips]uint
 		idx += m.cfg.Banks
 		r := b[rowIdx]
 		if r == nil {
-			r = &row{lastRecharge: now}
+			r = &row{lastRecharge: now} //zr:allow(hotpath) one-time lazy row materialization, amortized over the run
 			b[rowIdx] = r
 		} else if r.chargedWords > 0 && now-r.lastRecharge > tret {
 			r.decay()
@@ -171,6 +175,8 @@ func (m *Module) ReadLineWords(bank, rowIdx, slot int, now Time) [LineChips]uint
 // status mask: bit c set iff chip c's row was fully discharged and is not
 // remapped by row sparing. It is the batched equivalent of the refresh
 // engine's scalar loop of Refresh + IsSpared per chip.
+//
+//zr:hotpath
 func (m *Module) RefreshGroup(bank int, rows [LineChips]int, now Time) uint16 {
 	if m.cfg.Chips != LineChips {
 		panic(fmt.Sprintf("dram: group refresh needs %d chips, rank has %d", LineChips, m.cfg.Chips))
@@ -221,6 +227,8 @@ func (m *Module) RefreshGroup(bank int, rows [LineChips]int, now Time) uint16 {
 // controller's bulk page-cleansing path: the row is activated once per chip
 // and the fill then runs over cached row pointers with no per-word checks.
 // Counter totals and trace events match the scalar slot-major loop exactly.
+//
+//zr:hotpath
 func (m *Module) FillRowWords(bank, rowIdx int, words [LineChips]uint64, now Time) {
 	m.checkLine(bank, rowIdx, 0)
 	wordsPerRow := m.cfg.WordsPerChipRow()

@@ -21,6 +21,8 @@ import "fmt"
 // replaying windows with no intervening writes. The renewed status mask is
 // not returned: the engine only replays steps whose status it already
 // knows it will not update.
+//
+//zr:hotpath
 func (m *Module) ReplayRefreshGroup(bank int, rows [LineChips]int, first, period Time, windows int64) {
 	if windows <= 0 {
 		return

@@ -107,6 +107,8 @@ func NewEventQueue() *EventQueue { return &EventQueue{} }
 func (q *EventQueue) Len() int { return len(q.heap) }
 
 // Push schedules an event, assigning its Seq tie-breaker.
+//
+//zr:hotpath
 func (q *EventQueue) Push(e Event) {
 	e.Seq = q.seq
 	q.seq++
@@ -115,11 +117,15 @@ func (q *EventQueue) Push(e Event) {
 }
 
 // Schedule is the convenience form of Push.
+//
+//zr:hotpath
 func (q *EventQueue) Schedule(t dram.Time, kind EventKind, rank int32, fn func(now dram.Time)) {
 	q.Push(Event{Time: t, Kind: kind, Rank: rank, Fn: fn})
 }
 
 // Peek returns the earliest pending event without removing it.
+//
+//zr:hotpath
 func (q *EventQueue) Peek() (Event, bool) {
 	if len(q.heap) == 0 {
 		return Event{}, false
@@ -128,6 +134,8 @@ func (q *EventQueue) Peek() (Event, bool) {
 }
 
 // Pop removes and returns the earliest pending event.
+//
+//zr:hotpath
 func (q *EventQueue) Pop() (Event, bool) {
 	if len(q.heap) == 0 {
 		return Event{}, false

@@ -40,10 +40,10 @@ func NewAddressMap(cfg dram.Config) AddressMap { return AddressMap{cfg: cfg} }
 // Locate maps a line-aligned physical address to its DRAM location.
 func (a AddressMap) Locate(addr uint64) (Location, error) {
 	if addr%dram.LineBytes != 0 {
-		return Location{}, fmt.Errorf("memctrl: address %#x not %d-byte aligned", addr, dram.LineBytes)
+		return Location{}, fmt.Errorf("memctrl: address %#x not %d-byte aligned", addr, dram.LineBytes) //zr:allow(hotpath) reject path only; a hit never reaches it
 	}
 	if addr >= uint64(a.cfg.Capacity()) {
-		return Location{}, fmt.Errorf("memctrl: address %#x beyond capacity %#x", addr, a.cfg.Capacity())
+		return Location{}, fmt.Errorf("memctrl: address %#x beyond capacity %#x", addr, a.cfg.Capacity()) //zr:allow(hotpath) reject path only; a hit never reaches it
 	}
 	lineIdx := addr / dram.LineBytes
 	linesPerRow := uint64(a.cfg.LinesPerRow())

@@ -78,6 +78,8 @@ func (c *Controller) LinesWritten() int64 { return c.linesWritten.Load() }
 // WriteWord dispatches; writeLineScalar retains the scalar loop and the
 // differential tests prove the two leave bit-identical state, counters and
 // trace streams behind.
+//
+//zr:hotpath
 func (c *Controller) WriteLine(addr uint64, data [64]byte, now dram.Time) error {
 	loc, err := c.amap.Locate(addr)
 	if err != nil {
@@ -125,6 +127,8 @@ func (c *Controller) noteLineWritten(loc Location, now dram.Time) {
 // ReadLine fetches and inverse-transforms the cacheline at addr. Like
 // WriteLine it issues one batched backend call per line; readLineScalar
 // retains the scalar loop.
+//
+//zr:hotpath
 func (c *Controller) ReadLine(addr uint64, now dram.Time) ([64]byte, error) {
 	loc, err := c.amap.Locate(addr)
 	if err != nil {
@@ -158,6 +162,8 @@ func (c *Controller) readLineScalar(addr uint64, now dram.Time) ([64]byte, error
 // encoded pattern) and the whole row is filled in one backend call; the
 // accounting — transform ops, write counters, trace events — is charged per
 // line exactly as the slot-by-slot datapath would charge it.
+//
+//zr:hotpath
 func (c *Controller) WriteZeroRow(addr uint64, now dram.Time) error {
 	loc, err := c.amap.Locate(c.amap.RowBase(addr))
 	if err != nil {

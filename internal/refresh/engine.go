@@ -361,6 +361,8 @@ func (e *Engine) noteRefresh(bank, n, chipRows int, now dram.Time) {
 //   - access bit clear: read the status bits once and skip the steps whose
 //     rows were discharged at their last full refresh (no write occurred
 //     since, so the status is still exact).
+//
+//zr:hotpath
 func (e *Engine) AutoRefreshSet(bank, set int, now dram.Time) ARResult {
 	if set < 0 || set >= e.numARs {
 		panic(fmt.Sprintf("refresh: AR set %d out of range [0,%d)", set, e.numARs))

@@ -55,6 +55,8 @@ func (e *Engine) CanReplayIdle() bool {
 // When CanReplayIdle holds it does so in one O(banks·rows) pass
 // independent of k; otherwise it falls back to k dense cycles, so callers
 // may invoke it unconditionally.
+//
+//zr:hotpath
 func (e *Engine) ReplayIdleCycles(start dram.Time, k int64) CycleStats {
 	tret := e.mod.Config().Timing.TRET
 	if k <= 0 {

@@ -130,6 +130,8 @@ type Shard struct {
 
 // Emit records the event, stamping its shard id and sequence number. It
 // never allocates: the ring is preallocated at construction.
+//
+//zr:hotpath
 func (s *Shard) Emit(e Event) {
 	s.mu.Lock()
 	e.Shard = s.id
