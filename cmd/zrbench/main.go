@@ -1,5 +1,5 @@
 // Command zrbench runs the simulator's hot-path microbenchmarks and emits a
-// machine-readable performance baseline. The committed BENCH_6.json at the
+// machine-readable performance baseline. The committed BENCH_7.json at the
 // repository root is its output: regenerate with `make perfbench` after any
 // datapath or scheduler change. The suite covers the line-granular
 // scalar/batched pairs, the event-queue primitives, and the dense-vs-event
@@ -14,14 +14,14 @@
 // The -diff mode compares two baselines and fails on regressions, which is
 // how CI gates a PR against the previous baseline generation:
 //
-//	zrbench -diff BENCH_5.json,BENCH_6.json -tolerance 0.10
+//	zrbench -diff BENCH_6.json,BENCH_7.json -tolerance 0.10
 //
 // Only benchmarks present in both files are compared (a new generation may
 // add suites); a shared benchmark more than tolerance slower fails.
 //
 // Usage:
 //
-//	zrbench [-out BENCH_6.json] [-benchtime 100ms] [-count 1]
+//	zrbench [-out BENCH_7.json] [-benchtime 100ms] [-count 1]
 //	zrbench -diff OLD.json,NEW.json [-tolerance 0.10]
 package main
 
@@ -45,13 +45,15 @@ type suite struct {
 
 // suites is the fixed benchmark set of the baseline: the batched-datapath
 // pairs in the controller and refresh engine, the transform kernels, the
-// event-queue primitive, and the dense-vs-event window drivers.
+// event-queue primitive, the dense-vs-event window drivers, and the
+// introspection plane's trace tee.
 var suites = []suite{
 	{"./internal/memctrl", "BenchmarkWriteLine|BenchmarkReadLine|BenchmarkWriteZeroRow"},
 	{"./internal/refresh", "BenchmarkAutoRefreshSet"},
 	{"./internal/transform", "BenchmarkBitPlaneInverse|BenchmarkPipelineEncodeDecode"},
 	{"./internal/engine", "BenchmarkEventQueuePushPop"},
 	{"./internal/core", "BenchmarkWindowsDense|BenchmarkWindowsEvent"},
+	{"./internal/obs", "BenchmarkFlightRecorderEmit"},
 }
 
 // result is one benchmark measurement.
@@ -63,7 +65,7 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// report is the BENCH_6.json document.
+// report is the BENCH_7.json document.
 type report struct {
 	Schema     string   `json:"schema"`
 	BenchTime  string   `json:"benchtime"`
@@ -174,7 +176,7 @@ func run(out, benchtime string, count int) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output file, or - for stdout")
+	out := flag.String("out", "BENCH_7.json", "output file, or - for stdout")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark measurement time (go test -benchtime)")
 	count := flag.Int("count", 1, "benchmark repetitions (go test -count)")
 	diffFiles := flag.String("diff", "", "compare two baselines (OLD.json,NEW.json) instead of benchmarking; exits 1 on regressions")

@@ -14,13 +14,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/metrics"
 	"strings"
+	"syscall"
 
 	"zerorefresh/internal/core"
+	zrmetrics "zerorefresh/internal/metrics"
+	"zerorefresh/internal/obs"
 	"zerorefresh/internal/sim"
 	"zerorefresh/internal/trace"
 	"zerorefresh/internal/workload"
@@ -28,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,metrics,smoke,timeline,longhorizon,all")
+		exp      = flag.String("exp", "fig14", "experiment: table1,table2,fig4,fig5,fig6,fig14,fig15,fig16,fig17,fig18,fig19,compare,cmdlevel,power,metrics,smoke,timeline,longhorizon,violation,all")
 		capacity = flag.Int64("capacity", 32, "simulated rank capacity in MB")
 		windows  = flag.Int("windows", 8, "measured retention windows")
 		engineID = flag.String("engine", "dense", "simulation core: dense (per-window loop) or events (event queue with idle-window skipping); results are identical")
@@ -41,6 +46,11 @@ func main() {
 		metTo    = flag.String("metrics-out", "", "write the per-window metrics time-series to this file (.json for JSON, CSV otherwise)")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 		rtDump   = flag.Bool("runtime-metrics", false, "dump Go runtime metrics to stderr after the run")
+
+		serveAddr  = flag.String("serve", "", "serve the live introspection plane on this address (/metrics, /metrics.json, /healthz, /progress, /flight, /alerts, /trace/tail, /debug/pprof, /debug/vars); keeps serving the final state after the run until interrupted")
+		watchRules = flag.String("watch", "", "comma-separated watchdog rules, each name:metric[/denom][~q](>|<)threshold, evaluated over per-window metric deltas (needs -serve or -flight-out)")
+		watchEvery = flag.Int64("watch-every", 1, "evaluate -watch rules every N retention windows")
+		flightOut  = flag.String("flight-out", "", "write the flight-recorder dump (Chrome trace JSON) to this file after the run if anything was recorded")
 	)
 	flag.Parse()
 
@@ -85,6 +95,54 @@ func main() {
 		}
 	}
 
+	// Assemble the introspection plane when anything observes the run: the
+	// HTTP surface (-serve), the post-run flight dump (-flight-out), or
+	// watchdog rules (-watch). One plane observes every system the
+	// experiments build; each system's registry mounts under "sysN/".
+	var plane *obs.Plane
+	if *serveAddr != "" || *flightOut != "" || *watchRules != "" {
+		rootReg := zrmetrics.NewRegistry()
+		progress := &core.Progress{}
+		plane = obs.NewPlane(rootReg, progress, 0)
+		var wd *obs.Watchdog
+		if *watchRules != "" {
+			var rules []obs.Rule
+			for _, s := range strings.Split(*watchRules, ",") {
+				r, err := obs.ParseRule(strings.TrimSpace(s))
+				if err != nil {
+					fail(err)
+				}
+				rules = append(rules, r)
+			}
+			wd = plane.InstallWatchdog(rules, *watchEvery)
+		}
+		sysCount := 0
+		o.Observer = &sim.Observer{
+			TraceSink: plane.TraceSink,
+			Progress:  progress,
+			OnSystem: func(sys *core.System) {
+				rootReg.Attach(fmt.Sprintf("sys%d", sysCount), sys.Metrics())
+				sysCount++
+				if wd != nil {
+					sys.SetWatch(wd.Tick)
+				}
+			},
+		}
+		if *serveAddr != "" {
+			ln, err := net.Listen("tcp", *serveAddr)
+			if err != nil {
+				fail(err)
+			}
+			srv := &http.Server{Handler: plane.Handler()}
+			go func() {
+				if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+					fmt.Fprintln(os.Stderr, "zrsim: serve:", err)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "zrsim: introspection plane on http://%s/\n", ln.Addr())
+		}
+	}
+
 	csvOut = *format == "csv"
 	jsonOut = *jsonFlag || *format == "json"
 	metricsOut = *metTo
@@ -106,6 +164,43 @@ func main() {
 	if *rtDump {
 		dumpRuntimeMetrics(os.Stderr)
 	}
+	if plane != nil {
+		plane.MarkDone()
+		if *flightOut != "" {
+			if err := writeFlight(*flightOut, plane); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "zrsim: run complete; serving final state until interrupted")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+// writeFlight dumps the flight recorder to path when it holds anything
+// (it records while armed — explicitly, or auto-armed by the first
+// retention-violation event that passed the tee).
+func writeFlight(path string, plane *obs.Plane) error {
+	rec := plane.Recorder
+	if rec.Recorded() == 0 {
+		fmt.Fprintln(os.Stderr, "zrsim: flight recorder empty (never armed); no dump written")
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteChrome(f)
+	cerr := f.Close()
+	fmt.Fprintf(os.Stderr, "zrsim: flight dump: %d events recorded, %d trips -> %s\n",
+		rec.Recorded(), rec.Trips(), path)
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 var (
@@ -175,6 +270,8 @@ func run(id string, o sim.Options) error {
 		return writeTimeline(metricsOut, epochs)
 	case "longhorizon":
 		return show(sim.RunLongHorizon(o))
+	case "violation":
+		return show(sim.RunViolationDemo(o))
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

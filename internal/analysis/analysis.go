@@ -60,6 +60,11 @@ type Config struct {
 	MetricsPath string
 	// EnginePath hosts ForEach, which must never run under a held lock.
 	EnginePath string
+	// ObsPath is the one internal package allowed to import net/http (the
+	// live introspection plane); command packages under ModulePath/cmd/
+	// are also exempt. Everything else in the simulation stack must stay
+	// HTTP-free.
+	ObsPath string
 }
 
 // ConfigForModule returns the layer map of a module following this
@@ -71,6 +76,7 @@ func ConfigForModule(modulePath string) Config {
 		CorePath:    modulePath + "/internal/core",
 		MetricsPath: modulePath + "/internal/metrics",
 		EnginePath:  modulePath + "/internal/engine",
+		ObsPath:     modulePath + "/internal/obs",
 	}
 }
 

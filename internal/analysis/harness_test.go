@@ -22,6 +22,7 @@ func fixtureConfig(name string) Config {
 		CorePath:    name + "/core",
 		MetricsPath: name + "/metrics",
 		EnginePath:  name + "/engine",
+		ObsPath:     name + "/obs",
 	}
 }
 

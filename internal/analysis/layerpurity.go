@@ -5,9 +5,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
-// Layerpurity enforces the two ownership rules the PR-1 layer interfaces
+// Layerpurity enforces the three ownership rules the layer interfaces
 // exist for:
 //
 //  1. Only internal/dram mutates cell/charge state. Everywhere else, the
@@ -21,6 +22,11 @@ import (
 //     what guarantees a metric is named, registered, and visible in every
 //     snapshot; an orphan &metrics.Counter{} silently vanishes from the
 //     golden stats.
+//  3. Only the introspection plane (internal/obs) and the command
+//     packages (cmd/*) import net/http. The simulation layers stay
+//     HTTP-free — anything they want observed goes through the metrics
+//     registry, the tracer seam, or the core progress board, and the
+//     plane serves it.
 type Layerpurity struct{}
 
 // Name implements Analyzer.
@@ -28,7 +34,7 @@ func (Layerpurity) Name() string { return "layerpurity" }
 
 // Doc implements Analyzer.
 func (Layerpurity) Doc() string {
-	return "DRAM state mutates only via engine.MemoryBackend; counters are minted only by metrics.Registry"
+	return "DRAM state mutates only via engine.MemoryBackend; counters are minted only by metrics.Registry; net/http imports only in internal/obs and cmd/*"
 }
 
 // dramMutators is the charge-state-mutating slice of the rank contract:
@@ -56,12 +62,15 @@ var metricValueTypes = map[string]bool{
 // Run implements Analyzer.
 func (l Layerpurity) Run(prog *Program, report func(pos token.Pos, msg string)) {
 	cfg := prog.Config
-	if cfg.DRAMPath == "" && cfg.MetricsPath == "" {
+	if cfg.DRAMPath == "" && cfg.MetricsPath == "" && cfg.ObsPath == "" {
 		return
 	}
 	for _, pkg := range prog.Packages {
 		dramExempt := pkg.Path == cfg.DRAMPath || pkg.Path == cfg.CorePath
 		metricsExempt := pkg.Path == cfg.MetricsPath
+		if cfg.ObsPath != "" {
+			l.checkHTTPImports(prog, pkg, report)
+		}
 		for _, file := range pkg.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
 				switch n := n.(type) {
@@ -87,6 +96,26 @@ func (l Layerpurity) Run(prog *Program, report func(pos token.Pos, msg string)) 
 				}
 				return true
 			})
+		}
+	}
+}
+
+// checkHTTPImports flags net/http (and subpackage) imports outside the
+// introspection plane and the command packages.
+func (Layerpurity) checkHTTPImports(prog *Program, pkg *Package, report func(token.Pos, string)) {
+	cfg := prog.Config
+	if pkg.Path == cfg.ObsPath || strings.HasPrefix(pkg.Path, cfg.ModulePath+"/cmd/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "net/http" && !strings.HasPrefix(path, "net/http/") {
+				continue
+			}
+			report(imp.Path.Pos(), fmt.Sprintf(
+				"%s imports %s; only %s and cmd/* may serve HTTP — expose state through metrics/trace/progress and let the introspection plane serve it",
+				pkg.Path, path, cfg.ObsPath))
 		}
 	}
 }

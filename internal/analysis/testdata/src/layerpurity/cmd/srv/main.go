@@ -1,0 +1,11 @@
+// Command srv is a fixture command package: cmd/* may import net/http
+// (it assembles and serves the plane). No diagnostic is expected here.
+package main
+
+import (
+	"net/http"
+)
+
+func main() {
+	_ = http.NewServeMux()
+}

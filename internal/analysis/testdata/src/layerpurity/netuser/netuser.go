@@ -1,0 +1,13 @@
+// Package netuser is a simulation-layer package that illegally reaches
+// for HTTP: only the introspection plane (obs) and the command packages
+// may import net/http.
+package netuser
+
+import (
+	"net/http" // want "imports net/http; only layerpurity/obs and cmd/\* may serve HTTP"
+)
+
+// Serve is never called; the import itself is the violation.
+func Serve() *http.ServeMux {
+	return http.NewServeMux()
+}

@@ -1,0 +1,12 @@
+// Package obs is the fixture introspection plane: the one internal
+// package sanctioned to import net/http. No diagnostic is expected here.
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler returns the plane's mux.
+func Handler() *http.ServeMux {
+	return http.NewServeMux()
+}

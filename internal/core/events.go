@@ -144,6 +144,9 @@ func (s *System) popEvent() {
 		s.Clock = e.Time
 	}
 	s.ev.stats.Popped++
+	if p := s.Config.Progress; p != nil {
+		p.noteEvent(s.Clock)
+	}
 	e.Fn(s.Clock)
 }
 
@@ -163,6 +166,15 @@ func (s *System) windowEvent(now dram.Time) {
 		s.windows.Add(k)
 		s.ev.stats.Windows += k
 		s.ev.stats.Replayed += k
+		if p := s.Config.Progress; p != nil {
+			p.noteWindows(k, k, s.Clock)
+		}
+		if s.watch != nil {
+			// One evaluation point covers the whole replayed span: the
+			// windows inside it are idle by construction, so the metric
+			// deltas a per-window cadence would see land in this one call.
+			s.watch(s.windows.Load(), s.Clock)
+		}
 		if s.ev.accum != nil {
 			s.ev.accum.Add(total)
 		}

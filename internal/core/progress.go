@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"zerorefresh/internal/dram"
+)
+
+// Progress is the lock-free progress board of a running simulation: a
+// handful of atomics the drivers publish into from the window and event
+// loops so an observer (the live introspection plane in internal/obs, or
+// any monitoring goroutine) can read how far a long-horizon run has got
+// without taking a metrics snapshot, acquiring a lock, or perturbing the
+// simulation in any way.
+//
+// One Progress may be shared by several systems (a family-comparison
+// experiment publishes every system's windows into the same board):
+// counters accumulate across publishers, SimTime is last-write-wins.
+// The zero value is ready to use.
+type Progress struct {
+	simTime  atomic.Int64
+	windows  atomic.Int64
+	replayed atomic.Int64
+	events   atomic.Int64
+	systems  atomic.Int64
+}
+
+// SimTime returns the most recently published simulation clock.
+func (p *Progress) SimTime() dram.Time { return dram.Time(p.simTime.Load()) }
+
+// Windows returns the total retention windows run, dense and replayed.
+func (p *Progress) Windows() int64 { return p.windows.Load() }
+
+// Replayed returns how many of the windows were fast-forwarded through
+// bulk idle replay rather than stepped densely.
+func (p *Progress) Replayed() int64 { return p.replayed.Load() }
+
+// Events returns the total events popped by event-driven loops.
+func (p *Progress) Events() int64 { return p.events.Load() }
+
+// Systems returns how many systems have been wired to publish here.
+func (p *Progress) Systems() int64 { return p.systems.Load() }
+
+// noteWindows publishes w windows (r of them replayed) ending at now.
+func (p *Progress) noteWindows(w, r int64, now dram.Time) {
+	p.windows.Add(w)
+	if r != 0 {
+		p.replayed.Add(r)
+	}
+	p.simTime.Store(int64(now))
+}
+
+// noteEvent publishes one popped event at now.
+func (p *Progress) noteEvent(now dram.Time) {
+	p.events.Add(1)
+	p.simTime.Store(int64(now))
+}
+
+// noteSystem publishes one system wired to this board.
+func (p *Progress) noteSystem() { p.systems.Add(1) }

@@ -71,6 +71,19 @@ type Config struct {
 	// rank's module, refresh engine and controller emit into one shard
 	// per rank, the shared CPU-side pipeline into a "cpu" shard.
 	Trace *trace.Tracer
+	// TraceSink, when non-nil, interposes on every shard's event sink as
+	// the system is wired: it receives the shard label and the underlying
+	// tracer shard (nil when Trace is unset) and returns the sink the
+	// layers of that shard will emit into. This is the seam the live
+	// introspection plane (internal/obs) tees flight-recorder rings and
+	// streaming tails through without the hardware layers knowing; the
+	// returned sink must honour the same single-writer-per-shard
+	// discipline tracer shards have.
+	TraceSink func(label string, shard engine.Tracer) engine.Tracer
+	// Progress, when non-nil, receives lock-free atomic progress updates
+	// (sim time, windows run, events popped) from the window and event
+	// loops; observers read it without touching the simulation.
+	Progress *Progress
 	// Timeline enables epoch time-series capture: every RunWindow appends
 	// one Epoch (window stats + per-window metrics delta) to Timeline().
 	Timeline bool
@@ -144,6 +157,14 @@ type System struct {
 	timeline []Epoch
 	lastSnap metrics.Snapshot
 
+	// watch, when set, is invoked after every retention window (and after
+	// every bulk idle replay) with the cumulative window count and the
+	// clock — the deterministic sim-time cadence the observability
+	// plane's watchdogs evaluate on. It runs on the window-merging
+	// goroutine, never concurrently with itself; install it with SetWatch
+	// before running windows.
+	watch func(window int64, now dram.Time)
+
 	// ev holds the event-driven execution state (see events.go); it is
 	// armed lazily by the first Schedule/RunUntil/RunEvents call, so
 	// dense-only systems pay nothing for it.
@@ -197,10 +218,22 @@ func NewSystem(cfg Config) (*System, error) {
 	reg := metrics.NewRegistry()
 	sys := &System{Config: cfg, Pipeline: pipe, metrics: reg, windows: reg.Counter("core.windows")}
 	reg.Attach("cpu", pipe.Metrics())
-	if cfg.Trace != nil {
-		// Shard creation order fixes shard ids: "cpu" first, then the
-		// ranks in index order, so exports are stable across runs.
-		pipe.SetTracer(cfg.Trace.NewShard("cpu"))
+	// sinkFor builds one shard's event sink: the tracer shard (when
+	// tracing is on), wrapped by the TraceSink interposer (when one is
+	// installed). Shard creation order fixes shard ids: "cpu" first, then
+	// the ranks in index order, so exports are stable across runs.
+	sinkFor := func(label string) engine.Tracer {
+		var sh engine.Tracer
+		if cfg.Trace != nil {
+			sh = cfg.Trace.NewShard(label)
+		}
+		if cfg.TraceSink != nil {
+			return cfg.TraceSink(label, sh)
+		}
+		return sh
+	}
+	if s := sinkFor("cpu"); s != nil {
+		pipe.SetTracer(s)
 	}
 	for rank := 0; rank < cfg.Ranks; rank++ {
 		mod := dram.New(dcfg)
@@ -214,11 +247,10 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		eng := refresh.NewEngine(mod, cfg.Refresh)
 		ctrl := memctrl.NewController(mod, eng, pipe, cfg.Mapping)
-		if cfg.Trace != nil {
-			shard := cfg.Trace.NewShard(fmt.Sprintf("rank%d", rank))
-			mod.SetTracer(shard)
-			eng.SetTracer(shard)
-			ctrl.SetTracer(shard)
+		if s := sinkFor(fmt.Sprintf("rank%d", rank)); s != nil {
+			mod.SetTracer(s)
+			eng.SetTracer(s)
+			ctrl.SetTracer(s)
 		}
 		sys.Ranks = append(sys.Ranks, RankUnit{
 			DRAM: mod, Engine: eng, Controller: ctrl,
@@ -232,8 +264,18 @@ func NewSystem(cfg Config) (*System, error) {
 	sys.DRAM = sys.Ranks[0].DRAM
 	sys.Engine = sys.Ranks[0].Engine
 	sys.Controller = sys.Ranks[0].Controller
+	if cfg.Progress != nil {
+		cfg.Progress.noteSystem()
+	}
 	return sys, nil
 }
+
+// SetWatch installs the per-window observation hook: fn is invoked after
+// every retention window (dense or replayed) with the cumulative window
+// count and the clock. It is the deterministic sim-time cadence watchdog
+// evaluation hangs on. Install before running windows; fn runs on the
+// window-merging goroutine.
+func (s *System) SetWatch(fn func(window int64, now dram.Time)) { s.watch = fn }
 
 // Metrics returns the system-wide metrics registry: every rank's DRAM,
 // refresh-engine and controller counters under "rankN/", and the shared
@@ -358,6 +400,12 @@ func (s *System) mergeWindow(perRank []refresh.CycleStats) refresh.CycleStats {
 	}
 	s.Clock = total.End
 	s.windows.Inc()
+	if p := s.Config.Progress; p != nil {
+		p.noteWindows(1, 0, s.Clock)
+	}
+	if s.watch != nil {
+		s.watch(s.windows.Load(), s.Clock)
+	}
 	if s.Config.Timeline {
 		snap := s.MetricsSnapshot()
 		s.timeline = append(s.timeline, Epoch{

@@ -296,6 +296,50 @@ func (r *Registry) Attach(prefix string, c *Registry) {
 	r.children = append(r.children, child{prefix: prefix, reg: c})
 }
 
+// Reset zeroes every counter, gauge and histogram of the registry and its
+// attached children, keeping all metric identities registered (the pointers
+// handed out by Counter/Gauge/Histogram stay valid and simply read zero).
+// It is how a long-lived serving process starts a fresh measurement epoch
+// without rebuilding the system. Reset is not atomic with respect to
+// concurrent writers: a writer racing the reset may land an update before
+// or after the zeroing, the same torn-capture contract snapshots have.
+// Snapshots taken across a Reset are healed by Delta's negative-delta
+// guard.
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	histograms := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		histograms = append(histograms, h)
+	}
+	children := append([]child(nil), r.children...)
+	r.mu.RUnlock()
+
+	for _, c := range counters {
+		c.v.Store(0)
+	}
+	for _, g := range gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+	}
+	for _, ch := range children {
+		ch.reg.Reset()
+	}
+}
+
 // Snapshot captures every sample of the registry and its children. The
 // capture is cheap (one atomic load per metric) and safe while writers are
 // concurrently updating; samples appear in registration order, children in
@@ -367,6 +411,13 @@ func (s Snapshot) Counter(name string) int64 {
 // Delta returns s - prev per sample: counters and histograms subtract
 // (histograms count- sum- and bucket-wise), gauges keep the value from s.
 // Samples missing from prev are treated as starting at zero.
+//
+// A negative count cannot arise from monotonic metrics; it means prev was
+// taken before a Registry.Reset (or against a different metric
+// generation), so the subtraction would report garbage. Delta guards
+// against it: a counter whose difference goes negative, or a histogram
+// whose count or any bucket goes negative, falls back to the current
+// sample — exactly the delta a prev taken at the reset point would give.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	old := make(map[string]Sample, len(prev.Samples))
 	for _, smp := range prev.Samples {
@@ -379,15 +430,34 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			switch smp.Kind {
 			case KindCounter:
 				d.Int -= p.Int
+				if d.Int < 0 {
+					d.Int = smp.Int
+				}
 			case KindHistogram:
 				d.Int -= p.Int
 				d.Sum -= p.Sum
 				d.Buckets = subBuckets(smp.Buckets, p.Buckets)
+				if d.Int < 0 || anyNegative(d.Buckets) {
+					d = smp
+					d.Buckets = append([]int64(nil), smp.Buckets...)
+				}
 			}
 		}
 		out.Samples = append(out.Samples, d)
 	}
 	return out
+}
+
+// anyNegative reports whether any bucket count went below zero — the
+// signature of a delta taken across a registry reset. (A negative Sum is
+// not used as the signal: observations themselves may be negative.)
+func anyNegative(buckets []int64) bool {
+	for _, b := range buckets {
+		if b < 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // subBuckets returns a - b element-wise, trimmed to the highest non-zero

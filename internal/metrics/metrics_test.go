@@ -235,3 +235,123 @@ func TestEqual(t *testing.T) {
 		t.Fatal("differing snapshots reported equal")
 	}
 }
+
+// TestRegistryReset checks Reset zeroes every metric — counters, gauges,
+// histograms, and attached children — while keeping the handed-out
+// pointers registered and usable.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	g := r.Gauge("ratio")
+	h := r.Histogram("lat")
+	child := NewRegistry()
+	cc := child.Counter("inner")
+	r.Attach("rank0", child)
+
+	c.Add(7)
+	g.Set(0.5)
+	h.Observe(3)
+	h.Observe(300)
+	cc.Add(9)
+
+	r.Reset()
+
+	snap := r.Snapshot()
+	for _, smp := range snap.Samples {
+		switch smp.Kind {
+		case KindCounter:
+			if smp.Int != 0 {
+				t.Errorf("%s = %d after Reset, want 0", smp.Name, smp.Int)
+			}
+		case KindGauge:
+			if smp.Float != 0 {
+				t.Errorf("%s = %g after Reset, want 0", smp.Name, smp.Float)
+			}
+		case KindHistogram:
+			if smp.Int != 0 || smp.Sum != 0 || len(smp.Buckets) != 0 {
+				t.Errorf("%s = %+v after Reset, want empty histogram", smp.Name, smp)
+			}
+		}
+	}
+
+	// The old pointers still feed the same registered identities.
+	c.Inc()
+	cc.Inc()
+	h.Observe(1)
+	snap = r.Snapshot()
+	if snap.Counter("ops") != 1 || snap.Counter("rank0/inner") != 1 {
+		t.Fatal("pre-Reset metric pointers detached from the registry")
+	}
+}
+
+// TestDeltaNegativeCounterClamp pins the negative-delta guard: a prev
+// snapshot taken before a Reset would make the subtraction negative, and
+// Delta must fall back to the current sample instead.
+func TestDeltaNegativeCounterClamp(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Add(100)
+	prev := r.Snapshot()
+
+	r.Reset()
+	c.Add(7)
+	d := r.Snapshot().Delta(prev)
+
+	if got := d.Counter("ops"); got != 7 {
+		t.Fatalf("delta across reset = %d, want the post-reset value 7", got)
+	}
+}
+
+// TestDeltaNegativeHistogramClamp checks the histogram side of the
+// guard, including the bucket-only signature (count delta positive but a
+// bucket gone negative).
+func TestDeltaNegativeHistogramClamp(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket 10
+	}
+	prev := r.Snapshot()
+
+	// Across a reset the count delta (12-10=2) stays positive, but the
+	// old bucket-10 population cannot be subtracted from the new
+	// bucket-0 one: the per-bucket check must still catch it.
+	r.Reset()
+	for i := 0; i < 12; i++ {
+		h.Observe(0) // bucket 0
+	}
+	d := r.Snapshot().Delta(prev)
+
+	smp, ok := d.Get("lat")
+	if !ok {
+		t.Fatal("histogram missing from delta")
+	}
+	if smp.Int != 12 || smp.Sum != 0 {
+		t.Fatalf("delta across reset = count %d sum %d, want the post-reset sample (12, 0)", smp.Int, smp.Sum)
+	}
+	if anyNegative(smp.Buckets) {
+		t.Fatalf("delta buckets went negative: %v", smp.Buckets)
+	}
+}
+
+// TestDeltaWithoutResetUnaffected checks the guard does not disturb
+// ordinary monotonic deltas.
+func TestDeltaWithoutResetUnaffected(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	h := r.Histogram("lat")
+	c.Add(5)
+	h.Observe(2)
+	prev := r.Snapshot()
+	c.Add(3)
+	h.Observe(4)
+
+	d := r.Snapshot().Delta(prev)
+	if got := d.Counter("ops"); got != 3 {
+		t.Fatalf("counter delta = %d, want 3", got)
+	}
+	smp, _ := d.Get("lat")
+	if smp.Int != 1 || smp.Sum != 4 {
+		t.Fatalf("histogram delta = count %d sum %d, want (1, 4)", smp.Int, smp.Sum)
+	}
+}

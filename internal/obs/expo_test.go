@@ -1,0 +1,363 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"zerorefresh/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden exposition files")
+
+// buildSnapshot assembles a registry shaped like a real system's — a few
+// top-level samples plus per-rank children — with fixed values, including
+// a shard label that needs every escape the exposition formats have.
+func buildSnapshot() metrics.Snapshot {
+	root := metrics.NewRegistry()
+	root.Counter("core.windows").Add(9)
+	root.Gauge("perf.ratio").Set(0.875)
+	root.Gauge("perf.nan").Set(math.NaN())
+	for i := 0; i < 2; i++ {
+		rank := metrics.NewRegistry()
+		rank.Counter("refresh.steps_skipped").Add(int64(7000 + i))
+		rank.Counter("refresh.steps_considered").Add(int64(73728 * (i + 1)))
+		h := rank.Histogram("refresh.discharged_run_len")
+		for _, v := range []int64{0, 1, 2, 3, 3, 5, 9, 100} {
+			h.Observe(v + int64(i))
+		}
+		root.Attach("rank"+strconv.Itoa(i), rank)
+	}
+	weird := metrics.NewRegistry()
+	weird.Counter("odd.metric-name").Inc()
+	root.Attach("sh\"ard\\with\nnewline", weird)
+	return root.Snapshot()
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden; run with -update if intended\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, buildSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "exposition.prom", b.Bytes())
+
+	// Byte-determinism: a second rendering of a fresh but identical
+	// snapshot is identical.
+	var b2 bytes.Buffer
+	if err := WritePrometheus(&b2, buildSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), b2.Bytes()) {
+		t.Error("two renderings of identical snapshots differ")
+	}
+}
+
+func TestWriteMetricsJSONGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteMetricsJSON(&b, buildSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "exposition.json", b.Bytes())
+	if !json.Valid(b.Bytes()) {
+		t.Fatal("exposition JSON is not valid JSON")
+	}
+}
+
+// promSample is one parsed exposition line: name, label block (sorted
+// key-order as rendered), value.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// parsePrometheus re-reads the text exposition format.
+func parsePrometheus(t *testing.T, text string) []promSample {
+	t.Helper()
+	var out []promSample
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparsable line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		var v float64
+		switch valStr {
+		case "NaN":
+			v = math.NaN()
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		default:
+			f, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad value in %q: %v", line, err)
+			}
+			v = f
+		}
+		name, labels := key, ""
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unterminated label block in %q", line)
+			}
+			name, labels = key[:i], key[i+1:len(key)-1]
+		}
+		out = append(out, promSample{name: name, labels: labels, value: v})
+	}
+	return out
+}
+
+// unescapeLabel reverses escapeLabel.
+func unescapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\n`, "\n")
+	v = strings.ReplaceAll(v, `\"`, `"`)
+	return strings.ReplaceAll(v, `\\`, `\`)
+}
+
+// shardOf extracts the (unescaped) shard label value from a parsed label
+// block.
+func shardOf(t *testing.T, labels string) string {
+	t.Helper()
+	if labels == "" {
+		return ""
+	}
+	for _, part := range splitLabels(labels) {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			t.Fatalf("bad label %q", part)
+		}
+		if k == "shard" {
+			return unescapeLabel(strings.Trim(v, `"`))
+		}
+	}
+	return ""
+}
+
+// splitLabels splits a rendered label block on commas outside quotes.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// TestPrometheusParseBack re-reads the exposition and checks every
+// snapshot sample's value survived the round trip: counters and gauges
+// by value, histograms by _count and _sum and by the +Inf bucket
+// agreeing with the count.
+func TestPrometheusParseBack(t *testing.T) {
+	snap := buildSnapshot()
+	var b bytes.Buffer
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	parsed := parsePrometheus(t, b.String())
+	find := func(name, shard string) (promSample, bool) {
+		for _, p := range parsed {
+			if p.name == name && shardOf(t, p.labels) == shard {
+				return p, true
+			}
+		}
+		return promSample{}, false
+	}
+	for _, smp := range snap.Samples {
+		shard, leaf := splitSample(smp.Name)
+		fam := promName(leaf)
+		switch smp.Kind {
+		case metrics.KindCounter:
+			p, ok := find(fam, shard)
+			if !ok {
+				t.Fatalf("counter %s (shard %q) missing from exposition", fam, shard)
+			}
+			if p.value != float64(smp.Int) {
+				t.Errorf("%s{shard=%q} = %g, want %d", fam, shard, p.value, smp.Int)
+			}
+		case metrics.KindGauge:
+			p, ok := find(fam, shard)
+			if !ok {
+				t.Fatalf("gauge %s (shard %q) missing from exposition", fam, shard)
+			}
+			if p.value != smp.Float && !(math.IsNaN(p.value) && math.IsNaN(smp.Float)) {
+				t.Errorf("%s{shard=%q} = %g, want %g", fam, shard, p.value, smp.Float)
+			}
+		case metrics.KindHistogram:
+			cnt, ok := find(fam+"_count", shard)
+			if !ok {
+				t.Fatalf("histogram %s_count (shard %q) missing", fam, shard)
+			}
+			if cnt.value != float64(smp.Int) {
+				t.Errorf("%s_count{shard=%q} = %g, want %d", fam, shard, cnt.value, smp.Int)
+			}
+			sum, _ := find(fam+"_sum", shard)
+			if sum.value != float64(smp.Sum) {
+				t.Errorf("%s_sum{shard=%q} = %g, want %d", fam, shard, sum.value, smp.Sum)
+			}
+			var inf *promSample
+			for i := range parsed {
+				p := &parsed[i]
+				if p.name == fam+"_bucket" && shardOf(t, p.labels) == shard &&
+					strings.Contains(p.labels, `le="+Inf"`) {
+					inf = p
+				}
+			}
+			if inf == nil || inf.value != float64(smp.Int) {
+				t.Errorf("%s +Inf bucket (shard %q) does not equal count %d", fam, shard, smp.Int)
+			}
+		}
+	}
+}
+
+// TestJSONParseBack re-reads the JSON exposition through encoding/json
+// and checks every sample's identity and value.
+func TestJSONParseBack(t *testing.T) {
+	snap := buildSnapshot()
+	var b bytes.Buffer
+	if err := WriteMetricsJSON(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Samples []struct {
+			Name    string   `json:"name"`
+			Shard   string   `json:"shard"`
+			Metric  string   `json:"metric"`
+			Kind    string   `json:"kind"`
+			Value   *float64 `json:"value"`
+			Count   int64    `json:"count"`
+			Sum     int64    `json:"sum"`
+			Buckets []int64  `json:"buckets"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Samples) != len(snap.Samples) {
+		t.Fatalf("parsed %d samples, want %d", len(doc.Samples), len(snap.Samples))
+	}
+	for i, smp := range snap.Samples {
+		got := doc.Samples[i]
+		if got.Name != smp.Name {
+			t.Errorf("sample %d name %q, want %q", i, got.Name, smp.Name)
+		}
+		shard, leaf := splitSample(smp.Name)
+		if got.Shard != shard || got.Metric != leaf {
+			t.Errorf("sample %d split (%q,%q), want (%q,%q)", i, got.Shard, got.Metric, shard, leaf)
+		}
+		switch smp.Kind {
+		case metrics.KindCounter:
+			if got.Kind != "counter" || got.Value == nil || *got.Value != float64(smp.Int) {
+				t.Errorf("sample %d counter mismatch", i)
+			}
+		case metrics.KindGauge:
+			if got.Kind != "gauge" {
+				t.Errorf("sample %d kind %q, want gauge", i, got.Kind)
+			}
+			if math.IsNaN(smp.Float) {
+				if got.Value != nil {
+					t.Errorf("sample %d NaN gauge should render null", i)
+				}
+			} else if got.Value == nil || *got.Value != smp.Float {
+				t.Errorf("sample %d gauge mismatch", i)
+			}
+		case metrics.KindHistogram:
+			if got.Kind != "histogram" || got.Count != smp.Int || got.Sum != smp.Sum {
+				t.Errorf("sample %d histogram mismatch", i)
+			}
+			if len(got.Buckets) != len(smp.Buckets) {
+				t.Errorf("sample %d buckets %d, want %d", i, len(got.Buckets), len(smp.Buckets))
+			}
+		}
+	}
+}
+
+// TestLabelEscaping pins the escaping of quotes, backslashes and
+// newlines in shard labels across both exposition formats.
+func TestLabelEscaping(t *testing.T) {
+	reg := metrics.NewRegistry()
+	child := metrics.NewRegistry()
+	child.Counter("m.x").Inc()
+	reg.Attach("a\\b\"c\nd", child)
+	snap := reg.Snapshot()
+
+	var prom bytes.Buffer
+	if err := WritePrometheus(&prom, snap); err != nil {
+		t.Fatal(err)
+	}
+	wantProm := "# TYPE zr_m_x counter\nzr_m_x{shard=\"a\\\\b\\\"c\\nd\"} 1\n"
+	if prom.String() != wantProm {
+		t.Errorf("prometheus escaping:\ngot  %q\nwant %q", prom.String(), wantProm)
+	}
+
+	var js bytes.Buffer
+	if err := WriteMetricsJSON(&js, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(js.Bytes()) {
+		t.Fatalf("JSON with escaped labels is invalid: %s", js.String())
+	}
+	var doc struct {
+		Samples []struct {
+			Shard string `json:"shard"`
+		} `json:"samples"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Samples) != 1 || doc.Samples[0].Shard != "a\\b\"c\nd" {
+		t.Errorf("JSON shard round-trip = %q, want %q", doc.Samples[0].Shard, "a\\b\"c\nd")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"refresh.steps_skipped": "zr_refresh_steps_skipped",
+		"odd.metric-name":       "zr_odd_metric_name",
+		"simple":                "zr_simple",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

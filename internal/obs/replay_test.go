@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"testing"
+
+	"zerorefresh/internal/core"
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
+)
+
+// newObservedSystem builds a small system wired through a fresh plane,
+// the way `zrsim -serve` does.
+func newObservedSystem(t *testing.T) (*core.System, *Plane) {
+	t.Helper()
+	plane := NewPlane(metrics.NewRegistry(), &core.Progress{}, 256)
+	cfg := core.DefaultConfig(2 << 20)
+	cfg.CellGroupRows = 8
+	cfg.Refresh.RowsPerAR = 4
+	cfg.TraceSink = plane.TraceSink
+	cfg.Progress = plane.Progress
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane.Registry.Attach("sys0", sys.Metrics())
+	return sys, plane
+}
+
+// TestPassivePlaneKeepsIdleReplay pins the PassiveSink contract end to
+// end: installing the introspection plane on a system must NOT disable
+// the bulk idle replay while the plane is quiescent (recorder disarmed,
+// no tail subscribers, no inner tracer) — and must disable it the moment
+// the recorder arms, because a recording observer needs the dense event
+// stream.
+func TestPassivePlaneKeepsIdleReplay(t *testing.T) {
+	const windows = 16
+
+	run := func(t *testing.T, arm bool) (*core.System, *Plane) {
+		sys, plane := newObservedSystem(t)
+		plane.Recorder.SetAutoArm(false)
+		if arm {
+			plane.Recorder.Arm()
+		}
+		tret := sys.DRAM.Config().Timing.TRET
+		sys.RunUntil(sys.Clock + dram.Time(windows)*tret)
+		return sys, plane
+	}
+
+	t.Run("passive", func(t *testing.T) {
+		sys, plane := run(t, false)
+		st := sys.EventStats()
+		if st.Replayed == 0 {
+			t.Fatalf("bulk idle replay never engaged under a passive plane (windows=%d)", st.Windows)
+		}
+		if plane.Recorder.Recorded() != 0 {
+			t.Fatalf("passive plane recorded %d events", plane.Recorder.Recorded())
+		}
+	})
+
+	t.Run("armed", func(t *testing.T) {
+		sys, plane := run(t, true)
+		st := sys.EventStats()
+		if st.Replayed != 0 {
+			t.Fatalf("bulk idle replay engaged %d windows while the recorder was armed", st.Replayed)
+		}
+		if plane.Recorder.Recorded() == 0 {
+			t.Fatal("armed recorder captured nothing from a dense run")
+		}
+	})
+
+	// The two runs must agree on observable state: the replayed run is an
+	// optimization, not a different simulation.
+	t.Run("equivalent", func(t *testing.T) {
+		passive, _ := run(t, false)
+		armed, _ := run(t, true)
+		if passive.Clock != armed.Clock {
+			t.Fatalf("clocks diverged: passive %d, armed %d", passive.Clock, armed.Clock)
+		}
+		ps, as := passive.MetricsSnapshot(), armed.MetricsSnapshot()
+		if !ps.Equal(as) {
+			t.Fatalf("metric snapshots diverged between passive and armed runs:\npassive:\n%s\narmed:\n%s", ps, as)
+		}
+	})
+}
+
+// TestTailSubscriberDisablesReplay checks the third Passive input: a
+// connected tail client makes the sink active, so the windows it watches
+// are dense.
+func TestTailSubscriberDisablesReplay(t *testing.T) {
+	sys, plane := newObservedSystem(t)
+	plane.Recorder.SetAutoArm(false)
+	sub := plane.Tail.Subscribe(1 << 16)
+	defer plane.Tail.Unsubscribe(sub)
+
+	tret := sys.DRAM.Config().Timing.TRET
+	sys.RunUntil(sys.Clock + 8*tret)
+
+	if st := sys.EventStats(); st.Replayed != 0 {
+		t.Fatalf("bulk idle replay engaged %d windows with a tail subscriber connected", st.Replayed)
+	}
+	if plane.Tail.Delivered() == 0 {
+		t.Fatal("tail subscriber received no events from a dense run")
+	}
+}
+
+// TestProgressBoardPublishes checks the lock-free progress board tracks
+// the event loop through both dense and replayed windows.
+func TestProgressBoardPublishes(t *testing.T) {
+	sys, plane := newObservedSystem(t)
+	plane.Recorder.SetAutoArm(false)
+
+	tret := sys.DRAM.Config().Timing.TRET
+	sys.RunUntil(sys.Clock + 12*tret)
+
+	st := sys.EventStats()
+	if got := plane.Progress.Windows(); got != st.Windows {
+		t.Errorf("progress windows = %d, event stats say %d", got, st.Windows)
+	}
+	if got := plane.Progress.Replayed(); got != st.Replayed {
+		t.Errorf("progress replayed = %d, event stats say %d", got, st.Replayed)
+	}
+	if got := plane.Progress.SimTime(); got != sys.Clock {
+		t.Errorf("progress sim time = %d, clock is %d", got, sys.Clock)
+	}
+}

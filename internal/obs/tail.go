@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"zerorefresh/internal/trace"
+)
+
+// Tail is the fan-out hub behind the /trace/tail streaming endpoint: the
+// tee publishes every event into it, and each connected client owns a
+// bounded buffered channel it drains at its own pace. Publication never
+// blocks the simulator — a client that cannot keep up loses events, and
+// both the client's and the hub's dropped counters say how many. That
+// drop-and-count contract is deliberate: the simulation's event rate is
+// not negotiable, the observer's bandwidth is.
+//
+// The subscriber list is copy-on-write behind an atomic.Value, so the
+// publish path — which runs inside the layers' emit hot path — is one
+// atomic load and a slice walk, allocation-free, even while clients
+// connect and disconnect.
+type Tail struct {
+	mu        sync.Mutex   // serializes Subscribe/Unsubscribe
+	subs      atomic.Value // holds []*TailSub, copy-on-write
+	dropped   atomic.Int64
+	delivered atomic.Int64
+}
+
+// TailSub is one subscriber: a bounded event channel plus its drop count.
+type TailSub struct {
+	// C delivers events in publication order. It is closed by nothing —
+	// the subscriber ends the stream by calling Unsubscribe and draining.
+	C       chan trace.Event
+	dropped atomic.Int64
+}
+
+// Dropped returns how many events this subscriber lost to backpressure.
+func (s *TailSub) Dropped() int64 { return s.dropped.Load() }
+
+// DefaultTailBuffer is the per-subscriber channel capacity used when
+// Subscribe is called with buf <= 0.
+const DefaultTailBuffer = 1 << 10
+
+// NewTail returns an empty hub.
+func NewTail() *Tail {
+	t := &Tail{}
+	t.subs.Store([]*TailSub(nil))
+	return t
+}
+
+// Subscribe registers a new subscriber whose channel buffers up to buf
+// events (DefaultTailBuffer if buf <= 0).
+func (t *Tail) Subscribe(buf int) *TailSub {
+	if buf <= 0 {
+		buf = DefaultTailBuffer
+	}
+	sub := &TailSub{C: make(chan trace.Event, buf)}
+	t.mu.Lock()
+	cur := t.subs.Load().([]*TailSub)
+	next := make([]*TailSub, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = sub
+	t.subs.Store(next)
+	t.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe removes the subscriber; events already buffered in its
+// channel remain drainable.
+func (t *Tail) Unsubscribe(sub *TailSub) {
+	t.mu.Lock()
+	cur := t.subs.Load().([]*TailSub)
+	next := make([]*TailSub, 0, len(cur))
+	for _, s := range cur {
+		if s != sub {
+			next = append(next, s)
+		}
+	}
+	t.subs.Store(next)
+	t.mu.Unlock()
+}
+
+// Subscribers returns the current subscriber count.
+func (t *Tail) Subscribers() int { return len(t.subs.Load().([]*TailSub)) }
+
+// Dropped returns the total events lost to backpressure across all
+// subscribers, past and present.
+func (t *Tail) Dropped() int64 { return t.dropped.Load() }
+
+// Delivered returns the total events successfully enqueued to
+// subscribers.
+func (t *Tail) Delivered() int64 { return t.delivered.Load() }
+
+// active reports whether any subscriber is connected (the tee's Passive
+// check).
+func (t *Tail) active() bool { return len(t.subs.Load().([]*TailSub)) > 0 }
+
+// publish fans the event out to every subscriber, never blocking: a full
+// channel counts a drop and moves on. It runs inside the layers' emit
+// hot path, so it allocates nothing (the zrlint hotpath analyzer checks
+// it as a callee of the tee). It is deliberately not named Emit: the
+// hub is not a trace.Sink, and keeping it off that method set keeps the
+// hotpath analyzer's interface-resolution edges tight.
+//
+//zr:hotpath
+func (t *Tail) publish(e trace.Event) {
+	subs := t.subs.Load().([]*TailSub)
+	for _, s := range subs {
+		select {
+		case s.C <- e:
+			t.delivered.Add(1)
+		default:
+			s.dropped.Add(1)
+			t.dropped.Add(1)
+		}
+	}
+}

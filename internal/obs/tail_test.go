@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"testing"
+
+	"zerorefresh/internal/trace"
+)
+
+// TestTailDropAndCount pins the backpressure contract: publishing past a
+// subscriber's buffer never blocks — the overflow is counted, not
+// delivered.
+func TestTailDropAndCount(t *testing.T) {
+	tail := NewTail()
+	sub := tail.Subscribe(4)
+	defer tail.Unsubscribe(sub)
+
+	const total = 10
+	for i := 0; i < total; i++ {
+		tail.publish(trace.Event{Kind: trace.KindRefreshSkipped, Time: int64(i)})
+	}
+
+	if got := tail.Delivered(); got != 4 {
+		t.Errorf("delivered = %d, want 4 (buffer capacity)", got)
+	}
+	if got := tail.Dropped(); got != total-4 {
+		t.Errorf("hub dropped = %d, want %d", got, total-4)
+	}
+	if got := sub.Dropped(); got != total-4 {
+		t.Errorf("subscriber dropped = %d, want %d", got, total-4)
+	}
+
+	// The delivered events are the first four, in publication order.
+	for i := 0; i < 4; i++ {
+		e := <-sub.C
+		if e.Time != int64(i) {
+			t.Errorf("event %d has time %d, want %d", i, e.Time, i)
+		}
+	}
+}
+
+// TestTailFanOut checks every subscriber gets its own copy and drops are
+// accounted per subscriber.
+func TestTailFanOut(t *testing.T) {
+	tail := NewTail()
+	fast := tail.Subscribe(8)
+	slow := tail.Subscribe(2)
+	defer tail.Unsubscribe(fast)
+	defer tail.Unsubscribe(slow)
+
+	for i := 0; i < 5; i++ {
+		tail.publish(trace.Event{Time: int64(i)})
+	}
+	if fast.Dropped() != 0 {
+		t.Errorf("fast subscriber dropped %d, want 0", fast.Dropped())
+	}
+	if slow.Dropped() != 3 {
+		t.Errorf("slow subscriber dropped %d, want 3", slow.Dropped())
+	}
+	if tail.Delivered() != 5+2 {
+		t.Errorf("delivered = %d, want 7", tail.Delivered())
+	}
+}
+
+// TestTailSubscribeUnsubscribe checks the copy-on-write bookkeeping and
+// the active() signal the Passive gate relies on.
+func TestTailSubscribeUnsubscribe(t *testing.T) {
+	tail := NewTail()
+	if tail.active() || tail.Subscribers() != 0 {
+		t.Fatal("fresh hub should be inactive")
+	}
+	a := tail.Subscribe(1)
+	b := tail.Subscribe(1)
+	if !tail.active() || tail.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d, want 2", tail.Subscribers())
+	}
+	tail.Unsubscribe(a)
+	if tail.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d after one unsubscribe, want 1", tail.Subscribers())
+	}
+	// Publishing after an unsubscribe only reaches the remaining sub.
+	tail.publish(trace.Event{Time: 1})
+	select {
+	case <-a.C:
+		t.Error("unsubscribed channel received an event")
+	default:
+	}
+	if len(b.C) != 1 {
+		t.Errorf("remaining subscriber buffered %d events, want 1", len(b.C))
+	}
+	tail.Unsubscribe(b)
+	if tail.active() {
+		t.Error("hub should be inactive after all subscribers leave")
+	}
+}
+
+// TestTailPublishNoSubscribersNoAllocs pins the idle fan-out cost: with
+// no subscribers, publish is one atomic load over a nil slice.
+func TestTailPublishNoSubscribersNoAllocs(t *testing.T) {
+	tail := NewTail()
+	e := trace.Event{Kind: trace.KindWriteback, Time: 3}
+	if allocs := testing.AllocsPerRun(1000, func() { tail.publish(e) }); allocs != 0 {
+		t.Fatalf("idle publish allocates %.1f objects per op, want 0", allocs)
+	}
+}

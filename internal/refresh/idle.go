@@ -34,19 +34,37 @@ func (e *Engine) Idle() bool {
 
 // CanReplayIdle reports whether ReplayIdleCycles may take its bulk fast
 // path right now. Beyond idleness it needs the conditions under which the
-// replay is provably identical to the dense loop: no tracer (per-step skip
-// events carry growing run lengths that cannot be synthesized in bulk),
-// the rank-synchronous status design (per-chip status refreshes partial
-// groups), the LineChips group-refresh geometry, and a backend that
-// implements the bulk engine.IdleReplayer extension.
+// replay is provably identical to the dense loop: no active tracer
+// (per-step skip events carry growing run lengths that cannot be
+// synthesized in bulk), the rank-synchronous status design (per-chip
+// status refreshes partial groups), the LineChips group-refresh geometry,
+// and a backend that implements the bulk engine.IdleReplayer extension.
+//
+// A sink that implements trace.PassiveSink and reports Passive — the
+// introspection plane's tee while the flight recorder is disarmed and no
+// tail client is connected — does not block replay: nothing downstream
+// would observe the events a dense window emits, so skipping them is
+// unobservable and the fast path stays available under `zrsim -serve`.
 func (e *Engine) CanReplayIdle() bool {
-	if e.tr != nil || e.cfg.PerChipStatus || e.scalarStep || e.chips != dram.LineChips {
+	if tracingActive(e.tr) || e.cfg.PerChipStatus || e.scalarStep || e.chips != dram.LineChips {
 		return false
 	}
 	if _, ok := e.mod.(engine.IdleReplayer); !ok {
 		return false
 	}
 	return e.Idle()
+}
+
+// tracingActive reports whether tr would observe events emitted now: it is
+// non-nil and not a currently-passive interposer (trace.PassiveSink).
+func tracingActive(tr engine.Tracer) bool {
+	if tr == nil {
+		return false
+	}
+	if p, ok := tr.(interface{ Passive() bool }); ok && p.Passive() {
+		return false
+	}
+	return true
 }
 
 // ReplayIdleCycles runs k consecutive retention windows starting at start

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"zerorefresh/internal/core"
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/memctrl"
 	"zerorefresh/internal/workload"
@@ -40,7 +39,7 @@ func RunCmdLevel(o Options, prof workload.Profile) (CmdLevelResult, error) {
 	res := CmdLevelResult{Benchmark: prof.Name}
 
 	// Learn the benchmark's steady-state skip schedule (as in RunIPC).
-	sys, err := core.NewSystem(o.coreConfig(true))
+	sys, err := o.newSystem(true)
 	if err != nil {
 		return res, err
 	}

@@ -52,7 +52,7 @@ func RunIPC(o Options, prof workload.Profile) (IPCResult, error) {
 	res := IPCResult{Benchmark: prof.Name}
 
 	// Phase 1: steady-state refresh behaviour.
-	sys, err := core.NewSystem(o.coreConfig(true))
+	sys, err := o.newSystem(true)
 	if err != nil {
 		return res, err
 	}

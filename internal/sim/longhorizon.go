@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 
-	"zerorefresh/internal/core"
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/ostrace"
 	"zerorefresh/internal/workload"
@@ -55,7 +54,7 @@ func RunLongHorizon(o Options) (*Table, error) {
 
 // runLongHorizon runs one spacing configuration and returns the table row.
 func runLongHorizon(o Options, prof workload.Profile, horizon, burstEvery int) ([]float64, error) {
-	sys, err := core.NewSystem(o.coreConfig(true))
+	sys, err := o.newSystem(true)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"zerorefresh/internal/core"
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/energy"
+	"zerorefresh/internal/engine"
 	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/ostrace"
 	"zerorefresh/internal/refresh"
@@ -50,6 +51,12 @@ type Options struct {
 	// Trace, when non-nil, receives typed events from every layer of the
 	// simulated system (see internal/trace).
 	Trace *trace.Tracer
+	// Observer, when non-nil, wires a live introspection plane into every
+	// system the run builds (see internal/obs): its TraceSink tees every
+	// shard's events, its Progress board receives lock-free progress
+	// updates, and OnSystem runs against each freshly built system so the
+	// caller can install per-window watch hooks (watchdogs).
+	Observer *Observer
 	// Timeline enables per-window epoch capture; runs report it via
 	// ScenarioResult.Timeline.
 	Timeline bool
@@ -103,7 +110,42 @@ func (o Options) coreConfig(extended bool) core.Config {
 	}
 	cfg.Trace = o.Trace
 	cfg.Timeline = o.Timeline
+	if o.Observer != nil {
+		cfg.TraceSink = o.Observer.TraceSink
+		cfg.Progress = o.Observer.Progress
+	}
 	return cfg
+}
+
+// Observer wires an external introspection plane into the systems a run
+// builds. It is deliberately expressed in core/engine terms — sim does
+// not import internal/obs; zrsim assembles the plane and passes its hooks
+// down through here.
+type Observer struct {
+	// TraceSink interposes on every shard's event sink (see
+	// core.Config.TraceSink). Installing one disables the refresh
+	// engines' bulk idle replay while the sink is actively observing
+	// (armed recorder, connected tail client, or a full tracer attached);
+	// a passive sink keeps the fast path.
+	TraceSink func(label string, shard engine.Tracer) engine.Tracer
+	// Progress receives lock-free sim-time/window/event updates.
+	Progress *core.Progress
+	// OnSystem runs against each system right after it is built — the
+	// seam for core.System.SetWatch hooks.
+	OnSystem func(sys *core.System)
+}
+
+// newSystem builds a system for this run and applies the observer's
+// OnSystem hook. All sim runners build their systems through it.
+func (o Options) newSystem(extended bool) (*core.System, error) {
+	sys, err := core.NewSystem(o.coreConfig(extended))
+	if err != nil {
+		return nil, err
+	}
+	if o.Observer != nil && o.Observer.OnSystem != nil {
+		o.Observer.OnSystem(sys)
+	}
+	return sys, nil
 }
 
 // ScenarioResult reports one (benchmark, allocation) refresh experiment.
@@ -147,7 +189,7 @@ func RunScenarioTemp(o Options, prof workload.Profile, allocFrac float64, extend
 }
 
 func runScenario(o Options, prof workload.Profile, allocFrac float64, extended bool) (ScenarioResult, error) {
-	sys, err := core.NewSystem(o.coreConfig(extended))
+	sys, err := o.newSystem(extended)
 	if err != nil {
 		return ScenarioResult{}, err
 	}

@@ -57,6 +57,12 @@ const (
 	// because its retention deadline passed before the next recharge.
 	// A correct refresh policy never emits it.
 	KindRetentionViolation
+	// KindAlert marks a watchdog rule firing (internal/obs). A is the
+	// rule index in the watchdog's rule list, B the observed value in
+	// milli-units (value * 1000, rounded), so threshold crossings are
+	// visible on the trace timeline next to the activity that caused
+	// them.
+	KindAlert
 
 	numKinds
 )
@@ -76,6 +82,7 @@ var kindNames = [numKinds]string{
 	KindCodecSelect:        "transform.codec_select",
 	KindWriteback:          "ctrl.writeback",
 	KindRetentionViolation: "dram.retention_violation",
+	KindAlert:              "obs.alert",
 }
 
 // String returns the stable exporter name of the kind.
@@ -114,6 +121,19 @@ type Sink interface {
 	Emit(Event)
 }
 
+// PassiveSink is an optional Sink extension for interposing sinks (the
+// introspection plane's flight-recorder/tail tee) that may currently be
+// discarding every event: Passive reports that nothing downstream is
+// recording or listening right now. The refresh engine consults it when
+// deciding whether idle windows may be bulk-replayed — a replay emits no
+// per-step events, which is only observationally safe when nobody is
+// observing. A sink that does not implement PassiveSink is always treated
+// as active; *Shard deliberately does not implement it (its ring is
+// always recording).
+type PassiveSink interface {
+	Passive() bool
+}
+
 // Shard is one single-writer ring buffer. When full it overwrites the
 // oldest event, so a long run keeps the most recent window of activity;
 // Dropped reports how many events were overwritten.
@@ -150,6 +170,10 @@ func (s *Shard) Emit(e Event) {
 
 // Label returns the shard's label ("cpu", "rank0", ...).
 func (s *Shard) Label() string { return s.label }
+
+// ID returns the shard's id (its creation index within its Tracer) — the
+// value Emit stamps into Event.Shard.
+func (s *Shard) ID() int32 { return s.id }
 
 // Len returns the number of events currently held.
 func (s *Shard) Len() int {
