@@ -16,13 +16,14 @@
 #   make bench   - regenerate the paper's evaluation via the benchmark
 #                  harness (slow; minutes).
 #   make race    - just the race-sensitive packages, under -race.
-#   make perfbench - regenerate BENCH_7.json, the tracked hot-path
+#   make perfbench - regenerate BENCH_8.json, the tracked hot-path
 #                  microbenchmark baseline (cmd/zrbench): the
 #                  scalar-vs-batched datapath pairs, transform kernels,
-#                  event-queue primitives, dense-vs-event window drivers
-#                  and the introspection plane's trace tee.
-#   make perfdiff - gate BENCH_7.json against the previous committed
-#                  baseline generation (BENCH_6.json): fail if any shared
+#                  event-queue primitives, dense-vs-event window drivers,
+#                  the introspection plane's trace tee and the trace-diff
+#                  lockstep loop.
+#   make perfdiff - gate BENCH_8.json against the previous committed
+#                  baseline generation (BENCH_7.json): fail if any shared
 #                  benchmark regressed more than 10%.
 
 GO ?= go
@@ -51,7 +52,7 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 perfbench:
-	$(GO) run ./cmd/zrbench -out BENCH_7.json -benchtime 300ms -count 3
+	$(GO) run ./cmd/zrbench -out BENCH_8.json -benchtime 300ms -count 3
 
 perfdiff:
-	$(GO) run ./cmd/zrbench -diff BENCH_6.json,BENCH_7.json -tolerance 0.10
+	$(GO) run ./cmd/zrbench -diff BENCH_7.json,BENCH_8.json -tolerance 0.10

@@ -45,8 +45,8 @@ type suite struct {
 
 // suites is the fixed benchmark set of the baseline: the batched-datapath
 // pairs in the controller and refresh engine, the transform kernels, the
-// event-queue primitive, the dense-vs-event window drivers, and the
-// introspection plane's trace tee.
+// event-queue primitive, the dense-vs-event window drivers, the
+// introspection plane's trace tee, and the trace-diff lockstep loop.
 var suites = []suite{
 	{"./internal/memctrl", "BenchmarkWriteLine|BenchmarkReadLine|BenchmarkWriteZeroRow"},
 	{"./internal/refresh", "BenchmarkAutoRefreshSet"},
@@ -54,6 +54,7 @@ var suites = []suite{
 	{"./internal/engine", "BenchmarkEventQueuePushPop"},
 	{"./internal/core", "BenchmarkWindowsDense|BenchmarkWindowsEvent"},
 	{"./internal/obs", "BenchmarkFlightRecorderEmit"},
+	{"./internal/attr", "BenchmarkDiffLockstep"},
 }
 
 // result is one benchmark measurement.
@@ -176,7 +177,7 @@ func run(out, benchtime string, count int) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output file, or - for stdout")
+	out := flag.String("out", "BENCH_8.json", "output file, or - for stdout")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark measurement time (go test -benchtime)")
 	count := flag.Int("count", 1, "benchmark repetitions (go test -count)")
 	diffFiles := flag.String("diff", "", "compare two baselines (OLD.json,NEW.json) instead of benchmarking; exits 1 on regressions")

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zerorefresh/internal/sim"
+	"zerorefresh/internal/trace"
+	"zerorefresh/internal/workload"
+)
+
+// smokeTrace runs the smoke scenario with the given seed and writes its
+// trace as an NDJSON file, returning the path. The per-shard ring is
+// large enough to hold the whole run, so same-seed traces are complete
+// and byte-identical.
+func smokeTrace(t *testing.T, dir, name string, seed uint64) string {
+	t.Helper()
+	prof, ok := workload.ByName("sphinx3")
+	if !ok {
+		t.Fatal("sphinx3 profile missing")
+	}
+	o := sim.Options{
+		Capacity:   4 << 20,
+		Windows:    2,
+		Warmup:     1,
+		Seed:       seed,
+		Benchmarks: []workload.Profile{prof},
+		Trace:      trace.New(1 << 18),
+	}
+	if _, _, err := sim.RunSmoke(o); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteNDJSON(f, o.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffEndToEnd is the acceptance path: two same-seed smoke traces
+// diff clean (exit 0, "no divergence"); a seed-perturbed pair pinpoints
+// the first divergent event with context (exit 1).
+func TestDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	a := smokeTrace(t, dir, "a.ndjson", 1)
+	b := smokeTrace(t, dir, "b.ndjson", 1)
+	c := smokeTrace(t, dir, "c.ndjson", 2)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"diff", a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("same-seed diff exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "no divergence") {
+		t.Fatalf("same-seed diff output: %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"diff", "-context", "2", a, c}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("perturbed diff exit %d (stderr: %s)", code, errOut.String())
+	}
+	rep := out.String()
+	for _, want := range []string{"first divergence at event", "t=", "shard=", "seq=", "fields differing"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("divergence report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestReportFlameEnergyEndToEnd drives the remaining subcommands over a
+// real smoke trace and checks shape and determinism.
+func TestReportFlameEnergyEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	tr := smokeTrace(t, dir, "smoke.ndjson", 1)
+
+	runOnce := func(args ...string) string {
+		t.Helper()
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("%v exit %d: %s", args, code, errOut.String())
+		}
+		return out.String()
+	}
+
+	spans := filepath.Join(dir, "spans.json")
+	rep := runOnce("report", "-chrome", spans, tr)
+	if !strings.Contains(rep, "timeline:") || !strings.Contains(rep, "window 0") {
+		t.Fatalf("report output:\n%s", rep)
+	}
+	if rep != runOnce("report", tr) {
+		t.Fatal("report not deterministic across invocations")
+	}
+	sp, err := os.ReadFile(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sp), `"traceEvents"`) {
+		t.Fatalf("chrome spans malformed: %.120s", sp)
+	}
+
+	flame := runOnce("flame", "-rows-per-ar", "2", tr)
+	if !strings.Contains(flame, "refresh.issued") || !strings.Contains(flame, "background") {
+		t.Fatalf("flame output:\n%s", flame)
+	}
+
+	en := runOnce("energy", "-rows-per-ar", "2", tr)
+	for _, want := range []string{"attribution:", "refresh share", "rollover totals"} {
+		if !strings.Contains(en, want) {
+			t.Fatalf("energy output missing %q:\n%s", want, en)
+		}
+	}
+}
+
+// TestUsageErrors pins the exit-code contract for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no args exit %d", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown command exit %d", code)
+	}
+	if code := run([]string{"diff", "only-one.ndjson"}, &out, &errOut); code != 2 {
+		t.Fatalf("diff arity exit %d", code)
+	}
+	if code := run([]string{"report", "/nonexistent.ndjson"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file exit %d", code)
+	}
+	if code := run([]string{"help"}, &out, &errOut); code != 0 {
+		t.Fatalf("help exit %d", code)
+	}
+}

@@ -42,7 +42,8 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 		format   = flag.String("format", "table", "output format: table, csv or json")
 		jsonFlag = flag.Bool("json", false, "emit tables as machine-readable JSON (same as -format json)")
-		traceTo  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		traceTo  = flag.String("trace", "", "write the run's event trace to this file: NDJSON for a .ndjson path (the /trace/tail line format, zrquery-ready), Chrome trace-event JSON otherwise")
+		traceCap = flag.Int("trace-cap", 0, "per-shard trace ring capacity in events (default trace.DefaultShardCap; raise it when -trace exports of long runs report drops)")
 		metTo    = flag.String("metrics-out", "", "write the per-window metrics time-series to this file (.json for JSON, CSV otherwise)")
 		pprofOn  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 		rtDump   = flag.Bool("runtime-metrics", false, "dump Go runtime metrics to stderr after the run")
@@ -83,7 +84,7 @@ func main() {
 		fail(fmt.Errorf("unknown engine %q (want dense or events)", *engineID))
 	}
 	if *traceTo != "" {
-		o.Trace = trace.New(0)
+		o.Trace = trace.New(*traceCap)
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
@@ -300,13 +301,20 @@ func writeTimeline(path string, epochs []core.Epoch) error {
 	return os.WriteFile(path, []byte(out), 0o644)
 }
 
-// writeTrace exports the run's event trace as Chrome trace-event JSON.
+// writeTrace exports the run's event trace: NDJSON (the exact line
+// format /trace/tail streams, which zrquery diffs without re-encoding)
+// when the path ends in .ndjson, Chrome trace-event JSON otherwise.
 func writeTrace(path string, tr *trace.Tracer) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	werr := trace.WriteChrome(f, tr)
+	var werr error
+	if strings.HasSuffix(path, ".ndjson") {
+		werr = trace.WriteNDJSON(f, tr)
+	} else {
+		werr = trace.WriteChrome(f, tr)
+	}
 	cerr := f.Close()
 	if werr != nil {
 		return werr

@@ -1,0 +1,312 @@
+package attr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"zerorefresh/internal/metrics"
+	"zerorefresh/internal/trace"
+)
+
+// Attribution: fold a trace into per-bank / per-cause activity counts,
+// then join them with an energy cost model (Costs, built by the caller
+// from energy.PowerParams — attr stays a leaf package) to answer "where
+// did the refresh energy go". The counts reconcile against the metrics
+// registry's counters via Reconcile, so the offline analysis and the
+// live plane cannot silently drift apart.
+
+// BankKey addresses one bank on one shard (rank).
+type BankKey struct {
+	Shard int32
+	Bank  int32
+}
+
+// BankStats is the per-bank activity ledger.
+type BankStats struct {
+	BankKey
+	// Issued/Skipped count per-step refresh events.
+	Issued, Skipped int64
+	// ChipRows sums the chip rows walked by issued steps (Event.A of
+	// refresh.issued).
+	ChipRows int64
+	// Writebacks counts controller line writebacks.
+	Writebacks int64
+	// Transitions counts charge-state crossings.
+	Transitions int64
+	// Violations counts retention violations.
+	Violations int64
+}
+
+// Attribution is the folded activity of one trace stream.
+type Attribution struct {
+	// Banks is sorted by (shard, bank).
+	Banks []BankStats
+	// Totals sums all banks (its BankKey is {-1,-1}).
+	Totals BankStats
+	// RolloverRefreshed/RolloverSkipped sum the per-window rollover
+	// bookkeeping counts — the cross-check against the per-step events.
+	RolloverRefreshed, RolloverSkipped int64
+	// Windows counts rollover events (per rank per window).
+	Windows int64
+	// CodecLines/CodecZeroWords sum CPU-side codec activity.
+	CodecLines, CodecZeroWords int64
+	// Alerts counts watchdog alerts.
+	Alerts int64
+	// Events is the total event count; StartNs/EndNs span the stream.
+	Events         int64
+	StartNs, EndNs int64
+	// Dropped carries the exporter's ring-drop count: when nonzero the
+	// per-step counts are partial and reconciliation will flag it.
+	Dropped uint64
+	labels  map[int32]string
+}
+
+// Label names a shard in the attribution's source stream.
+func (a *Attribution) Label(shard int32) string {
+	if l, ok := a.labels[shard]; ok && l != "" {
+		return l
+	}
+	return "shard" + strconv.Itoa(int(shard))
+}
+
+// Attribute folds a stream into per-bank and per-cause counts.
+func Attribute(s *Stream) *Attribution {
+	a := &Attribution{Dropped: s.Dropped, labels: s.Labels, Events: int64(len(s.Events))}
+	a.Totals.BankKey = BankKey{Shard: -1, Bank: -1}
+	if len(s.Events) == 0 {
+		return a
+	}
+	a.StartNs = s.Events[0].Time
+	a.EndNs = s.Events[len(s.Events)-1].Time
+	banks := make(map[BankKey]*BankStats)
+	bank := func(e trace.Event) *BankStats {
+		k := BankKey{Shard: e.Shard, Bank: e.Bank}
+		b := banks[k]
+		if b == nil {
+			b = &BankStats{BankKey: k}
+			banks[k] = b
+		}
+		return b
+	}
+	for _, e := range s.Events {
+		switch e.Kind {
+		case trace.KindRefreshIssued:
+			b := bank(e)
+			b.Issued++
+			b.ChipRows += e.A
+			a.Totals.Issued++
+			a.Totals.ChipRows += e.A
+		case trace.KindRefreshSkipped:
+			bank(e).Skipped++
+			a.Totals.Skipped++
+		case trace.KindWriteback:
+			bank(e).Writebacks++
+			a.Totals.Writebacks++
+		case trace.KindChargeTransition:
+			bank(e).Transitions++
+			a.Totals.Transitions++
+		case trace.KindRetentionViolation:
+			bank(e).Violations++
+			a.Totals.Violations++
+		case trace.KindWindowRollover:
+			a.Windows++
+			a.RolloverRefreshed += e.A
+			a.RolloverSkipped += e.B
+		case trace.KindCodecSelect:
+			a.CodecLines++
+			a.CodecZeroWords += e.B
+		case trace.KindAlert:
+			a.Alerts++
+		}
+	}
+	a.Banks = make([]BankStats, 0, len(banks))
+	for _, b := range banks {
+		a.Banks = append(a.Banks, *b)
+	}
+	sort.Slice(a.Banks, func(i, j int) bool {
+		if a.Banks[i].Shard != a.Banks[j].Shard {
+			return a.Banks[i].Shard < a.Banks[j].Shard
+		}
+		return a.Banks[i].Bank < a.Banks[j].Bank
+	})
+	return a
+}
+
+// RefreshSteps returns the refresh step counts the energy model should
+// charge: the per-step event counts when the trace holds them, otherwise
+// the rollover bookkeeping counts (an idle-replay window performs the
+// steps without emitting per-step events).
+func (a *Attribution) RefreshSteps() (issued, skipped int64) {
+	if a.Totals.Issued+a.Totals.Skipped > 0 {
+		return a.Totals.Issued, a.Totals.Skipped
+	}
+	return a.RolloverRefreshed, a.RolloverSkipped
+}
+
+// Costs is the injected energy model: attr never imports internal/energy
+// (the differential tests in dram/memctrl/refresh import attr, and
+// energy sits above dram), so the caller folds energy.PowerParams down
+// to these four numbers. cmd/zrquery does this from Table II.
+type Costs struct {
+	// StepJ is the energy of one refresh step (one AR command's share),
+	// joules.
+	StepJ float64
+	// LineJ is the energy of one cacheline writeback, joules.
+	LineJ float64
+	// BackgroundW is the non-refresh standby power charged over the
+	// stream's wall span, watts.
+	BackgroundW float64
+	// BusW is the read/write bus power charged over the stream's wall
+	// span, watts.
+	BusW float64
+}
+
+// Energy is the joules breakdown of one attribution under a cost model.
+type Energy struct {
+	// RefreshJ charges issued refresh steps; SavedJ is what the skipped
+	// steps would have cost (reported, not added to the total).
+	RefreshJ, SavedJ float64
+	// WritebackJ charges controller writebacks.
+	WritebackJ float64
+	// BackgroundJ and BusJ charge standby and bus power over the span.
+	BackgroundJ, BusJ float64
+	// TotalJ = RefreshJ + WritebackJ + BackgroundJ + BusJ.
+	TotalJ float64
+	// Share is RefreshJ / TotalJ (0 when TotalJ is 0) — directly
+	// comparable to energy.RefreshPowerShare.
+	Share float64
+}
+
+// Energy joins the attribution with a cost model.
+func (a *Attribution) Energy(c Costs) Energy {
+	issued, skipped := a.RefreshSteps()
+	span := float64(a.EndNs-a.StartNs) * 1e-9
+	e := Energy{
+		RefreshJ:    float64(issued) * c.StepJ,
+		SavedJ:      float64(skipped) * c.StepJ,
+		WritebackJ:  float64(a.Totals.Writebacks) * c.LineJ,
+		BackgroundJ: c.BackgroundW * span,
+		BusJ:        c.BusW * span,
+	}
+	e.TotalJ = e.RefreshJ + e.WritebackJ + e.BackgroundJ + e.BusJ
+	if e.TotalJ > 0 {
+		e.Share = e.RefreshJ / e.TotalJ
+	}
+	return e
+}
+
+// fmtF renders a float in Go's shortest round-trip form — the same rule
+// the simulator's JSON reports use, so every report is byte-stable.
+func fmtF(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Report renders the per-bank activity table and, when a cost model is
+// supplied (non-zero Costs), the energy breakdown.
+func (a *Attribution) Report(c Costs) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attribution: %d events, span [%dns, %dns], %d window rollovers\n",
+		a.Events, a.StartNs, a.EndNs, a.Windows)
+	if a.Dropped > 0 {
+		fmt.Fprintf(&b, "WARNING: %d events dropped by the trace ring; per-step counts are partial\n", a.Dropped)
+	}
+	fmt.Fprintf(&b, "%-8s %4s %10s %10s %10s %10s %11s %10s\n",
+		"shard", "bank", "issued", "skipped", "chip_rows", "writebacks", "transitions", "violations")
+	for _, bs := range a.Banks {
+		fmt.Fprintf(&b, "%-8s %4d %10d %10d %10d %10d %11d %10d\n",
+			a.Label(bs.Shard), bs.Bank, bs.Issued, bs.Skipped, bs.ChipRows, bs.Writebacks, bs.Transitions, bs.Violations)
+	}
+	t := a.Totals
+	fmt.Fprintf(&b, "%-8s %4s %10d %10d %10d %10d %11d %10d\n",
+		"total", "*", t.Issued, t.Skipped, t.ChipRows, t.Writebacks, t.Transitions, t.Violations)
+	fmt.Fprintf(&b, "rollover totals: refreshed=%d skipped=%d\n", a.RolloverRefreshed, a.RolloverSkipped)
+	fmt.Fprintf(&b, "codec: lines=%d zero_words=%d; alerts=%d\n", a.CodecLines, a.CodecZeroWords, a.Alerts)
+	if c != (Costs{}) {
+		issued, skipped := a.RefreshSteps()
+		e := a.Energy(c)
+		fmt.Fprintf(&b, "energy model: step=%sJ line=%sJ background=%sW bus=%sW\n",
+			fmtF(c.StepJ), fmtF(c.LineJ), fmtF(c.BackgroundW), fmtF(c.BusW))
+		fmt.Fprintf(&b, "  refresh    %s J (%d steps)\n", fmtF(e.RefreshJ), issued)
+		fmt.Fprintf(&b, "  saved      %s J (%d skipped steps, not in total)\n", fmtF(e.SavedJ), skipped)
+		fmt.Fprintf(&b, "  writeback  %s J (%d lines)\n", fmtF(e.WritebackJ), a.Totals.Writebacks)
+		fmt.Fprintf(&b, "  background %s J\n", fmtF(e.BackgroundJ))
+		fmt.Fprintf(&b, "  bus        %s J\n", fmtF(e.BusJ))
+		fmt.Fprintf(&b, "  total      %s J, refresh share %s\n", fmtF(e.TotalJ), fmtF(e.Share))
+	}
+	return b.String()
+}
+
+// counterBySuffix finds a counter sample whose full name is suffix or
+// ends in "/"+suffix — the registry mounts per-rank children under
+// prefixes ("rank0/refresh.steps_refreshed", and a serving plane adds
+// "sys0/" on top), while the trace only knows shard labels.
+func counterBySuffix(snap metrics.Snapshot, suffix string) (int64, bool) {
+	for _, smp := range snap.Samples {
+		if smp.Kind != metrics.KindCounter {
+			continue
+		}
+		if smp.Name == suffix || strings.HasSuffix(smp.Name, "/"+suffix) {
+			return smp.Int, true
+		}
+	}
+	return 0, false
+}
+
+// Reconcile cross-checks the trace-derived counts against a metrics
+// registry snapshot from the same run. It returns a list of mismatch
+// descriptions (empty means everything the snapshot exposes agrees).
+// The trace must be complete (Dropped == 0) for the per-step checks to
+// be meaningful; a dropped-events mismatch is reported first if not.
+func (a *Attribution) Reconcile(snap metrics.Snapshot) []string {
+	var bad []string
+	if a.Dropped > 0 {
+		bad = append(bad, fmt.Sprintf("trace dropped %d events; per-step counts are partial", a.Dropped))
+	}
+	// Internal consistency: per-step events vs rollover bookkeeping.
+	if a.Totals.Issued+a.Totals.Skipped > 0 && a.Windows > 0 {
+		if a.Totals.Issued != a.RolloverRefreshed {
+			bad = append(bad, fmt.Sprintf("per-step issued %d != rollover refreshed %d", a.Totals.Issued, a.RolloverRefreshed))
+		}
+		if a.Totals.Skipped != a.RolloverSkipped {
+			bad = append(bad, fmt.Sprintf("per-step skipped %d != rollover skipped %d", a.Totals.Skipped, a.RolloverSkipped))
+		}
+	}
+	// Per-shard sums vs the registry's per-rank counters.
+	type shardSum struct {
+		issued, skipped, writebacks int64
+	}
+	sums := make(map[int32]*shardSum)
+	for _, b := range a.Banks {
+		s := sums[b.Shard]
+		if s == nil {
+			s = &shardSum{}
+			sums[b.Shard] = s
+		}
+		s.issued += b.Issued
+		s.skipped += b.Skipped
+		s.writebacks += b.Writebacks
+	}
+	shards := make([]int32, 0, len(sums))
+	for id := range sums {
+		shards = append(shards, id)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+	check := func(label, metric string, got int64) {
+		want, ok := counterBySuffix(snap, label+"/"+metric)
+		if !ok {
+			return
+		}
+		if got != want {
+			bad = append(bad, fmt.Sprintf("%s/%s: trace %d != counter %d", label, metric, got, want))
+		}
+	}
+	for _, id := range shards {
+		label, s := a.Label(id), sums[id]
+		check(label, "refresh.steps_refreshed", s.issued)
+		check(label, "refresh.steps_skipped", s.skipped)
+		check(label, "ctrl.lines_written", s.writebacks)
+	}
+	return bad
+}

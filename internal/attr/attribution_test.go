@@ -1,0 +1,200 @@
+package attr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"zerorefresh/internal/metrics"
+	"zerorefresh/internal/trace"
+)
+
+func TestAttribute(t *testing.T) {
+	a := Attribute(synthStream(t))
+	if a.Events != 11 || a.Windows != 2 {
+		t.Fatalf("events=%d windows=%d", a.Events, a.Windows)
+	}
+	if a.Totals.Issued != 2 || a.Totals.Skipped != 1 || a.Totals.ChipRows != 16 {
+		t.Fatalf("totals: %+v", a.Totals)
+	}
+	if a.RolloverRefreshed != 6 || a.RolloverSkipped != 3 {
+		t.Fatalf("rollover sums: %d, %d", a.RolloverRefreshed, a.RolloverSkipped)
+	}
+	if a.CodecLines != 3 || a.CodecZeroWords != 8 {
+		t.Fatalf("codec: %d lines, %d zero words", a.CodecLines, a.CodecZeroWords)
+	}
+	// Banks sorted (shard, bank): cpu bank -1 (codec emits no bank
+	// stats), rank0 banks 0,1,2,5.
+	wantBanks := []BankKey{{1, 0}, {1, 1}, {1, 2}, {1, 5}}
+	if len(a.Banks) != len(wantBanks) {
+		t.Fatalf("banks: %+v", a.Banks)
+	}
+	for i, k := range wantBanks {
+		if a.Banks[i].BankKey != k {
+			t.Fatalf("bank %d = %+v, want %+v", i, a.Banks[i], k)
+		}
+	}
+	if b := a.Banks[0]; b.Issued != 1 || b.Skipped != 1 {
+		t.Fatalf("bank0 stats: %+v", b)
+	}
+	if b := a.Banks[2]; b.Writebacks != 1 || b.Transitions != 1 {
+		t.Fatalf("bank2 stats: %+v", b)
+	}
+	if b := a.Banks[3]; b.Violations != 1 {
+		t.Fatalf("bank5 stats: %+v", b)
+	}
+}
+
+func TestRefreshStepsFallback(t *testing.T) {
+	// Per-step events present: use them.
+	a := Attribute(synthStream(t))
+	if i, s := a.RefreshSteps(); i != 2 || s != 1 {
+		t.Fatalf("per-step counts: %d, %d", i, s)
+	}
+	// Rollover-only stream (idle replay): fall back to bookkeeping.
+	tr := trace.New(16)
+	rank := tr.NewShard("rank0")
+	rank.Emit(trace.Event{Kind: trace.KindWindowRollover, Time: 100, Chip: -1, Bank: -1, Row: -1, A: 40, B: 24})
+	b := Attribute(&Stream{Events: tr.Events()})
+	if i, s := b.RefreshSteps(); i != 40 || s != 24 {
+		t.Fatalf("rollover fallback: %d, %d", i, s)
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	a := Attribute(synthStream(t))
+	c := Costs{StepJ: 2e-9, LineJ: 1e-9, BackgroundW: 0.5, BusW: 0.25}
+	e := a.Energy(c)
+	span := float64(a.EndNs-a.StartNs) * 1e-9 // 250ns
+	wantRefresh := 2 * 2e-9
+	wantSaved := 1 * 2e-9
+	wantWb := 1 * 1e-9
+	wantBg := 0.5 * span
+	wantBus := 0.25 * span
+	close := func(got, want float64) bool {
+		return math.Abs(got-want) <= 1e-15*math.Max(1, math.Abs(want))
+	}
+	if !close(e.RefreshJ, wantRefresh) || !close(e.SavedJ, wantSaved) || !close(e.WritebackJ, wantWb) ||
+		!close(e.BackgroundJ, wantBg) || !close(e.BusJ, wantBus) {
+		t.Fatalf("energy: %+v", e)
+	}
+	wantTotal := wantRefresh + wantWb + wantBg + wantBus
+	if !close(e.TotalJ, wantTotal) || !close(e.Share, wantRefresh/wantTotal) {
+		t.Fatalf("total/share: %+v", e)
+	}
+	if z := (&Attribution{}).Energy(c); z.TotalJ != 0 || z.Share != 0 {
+		t.Fatalf("empty attribution energy: %+v", z)
+	}
+}
+
+func TestAttributionReportDeterministic(t *testing.T) {
+	c := Costs{StepJ: 2e-9, LineJ: 1e-9, BackgroundW: 0.5, BusW: 0.25}
+	r1 := Attribute(synthStream(t)).Report(c)
+	r2 := Attribute(synthStream(t)).Report(c)
+	if r1 != r2 {
+		t.Fatal("attribution report not deterministic")
+	}
+	for _, want := range []string{
+		"attribution: 11 events",
+		"rollover totals: refreshed=6 skipped=3",
+		"refresh share",
+	} {
+		if !strings.Contains(r1, want) {
+			t.Fatalf("report missing %q:\n%s", want, r1)
+		}
+	}
+	// Without a cost model the energy section is omitted.
+	if strings.Contains(Attribute(synthStream(t)).Report(Costs{}), "energy model") {
+		t.Fatal("zero cost model rendered an energy section")
+	}
+}
+
+func TestReconcile(t *testing.T) {
+	a := Attribute(synthStream(t))
+	// The synth stream's rollover totals (6/3) deliberately exceed its
+	// per-step counts (2/1): window 1 replayed without per-step events.
+	// Reconcile flags that internal inconsistency.
+	snap := metrics.Snapshot{Samples: []metrics.Sample{
+		{Name: "sys0/rank0/refresh.steps_refreshed", Kind: metrics.KindCounter, Int: 2},
+		{Name: "sys0/rank0/refresh.steps_skipped", Kind: metrics.KindCounter, Int: 1},
+		{Name: "sys0/rank0/ctrl.lines_written", Kind: metrics.KindCounter, Int: 1},
+	}}
+	bad := a.Reconcile(snap)
+	if len(bad) != 2 {
+		t.Fatalf("mismatches: %v", bad)
+	}
+
+	// A consistent single-window stream reconciles cleanly against
+	// prefixed counters.
+	tr := trace.New(64)
+	rank := tr.NewShard("rank0")
+	rank.Emit(trace.Event{Kind: trace.KindRefreshIssued, Time: 1, Chip: -1, Bank: 0, Row: 0, A: 8})
+	rank.Emit(trace.Event{Kind: trace.KindRefreshSkipped, Time: 2, Chip: -1, Bank: 0, Row: 1, A: 1})
+	rank.Emit(trace.Event{Kind: trace.KindWriteback, Time: 3, Chip: -1, Bank: 1, Row: 2, A: 0})
+	rank.Emit(trace.Event{Kind: trace.KindWindowRollover, Time: 10, Chip: -1, Bank: -1, Row: -1, A: 1, B: 1})
+	ok := Attribute(&Stream{Events: tr.Events(), Labels: map[int32]string{0: "rank0"}})
+	good := metrics.Snapshot{Samples: []metrics.Sample{
+		{Name: "sys0/rank0/refresh.steps_refreshed", Kind: metrics.KindCounter, Int: 1},
+		{Name: "sys0/rank0/refresh.steps_skipped", Kind: metrics.KindCounter, Int: 1},
+		{Name: "sys0/rank0/ctrl.lines_written", Kind: metrics.KindCounter, Int: 1},
+	}}
+	if bad := ok.Reconcile(good); len(bad) != 0 {
+		t.Fatalf("clean stream reconciled dirty: %v", bad)
+	}
+
+	// A drifted counter is reported.
+	good.Samples[0].Int = 99
+	bad = ok.Reconcile(good)
+	if len(bad) != 1 || !strings.Contains(bad[0], "rank0/refresh.steps_refreshed") {
+		t.Fatalf("drifted counter: %v", bad)
+	}
+
+	// Dropped events flag.
+	ok.Dropped = 5
+	if bad := ok.Reconcile(good); len(bad) != 2 || !strings.Contains(bad[0], "dropped") {
+		t.Fatalf("dropped flag: %v", bad)
+	}
+}
+
+func TestFlame(t *testing.T) {
+	a := Attribute(synthStream(t))
+	c := Costs{StepJ: 2e-9, LineJ: 1e-9, BackgroundW: 0.5, BusW: 0.25}
+	out := a.Flame(c)
+	if out != a.Flame(c) {
+		t.Fatal("flame output not deterministic")
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	// 2 issued steps at 2e-9 J on rank0: bank0 and bank1 each 1 step ->
+	// 2000 pJ apiece; 0.5 W and 0.25 W over the 250ns span -> 125000 and
+	// 62500 pJ.
+	for _, want := range []string{
+		"rank0;bank0;refresh.issued 2000",
+		"rank0;bank1;refresh.issued 2000",
+		"rank0;bank2;writeback 1000",
+		"background 125000",
+		"bus 62500",
+	} {
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("flame missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("flame output must end with a newline")
+	}
+
+	// Idle-replay stream charges the rollover totals at the root.
+	tr := trace.New(16)
+	rank := tr.NewShard("rank0")
+	rank.Emit(trace.Event{Kind: trace.KindWindowRollover, Time: 100, Chip: -1, Bank: -1, Row: -1, A: 40, B: 24})
+	idle := Attribute(&Stream{Events: tr.Events(), Labels: map[int32]string{0: "rank0"}})
+	if !strings.Contains(idle.Flame(Costs{StepJ: 1e-9}), "idle-replay;refresh.issued 40") {
+		t.Fatalf("idle flame:\n%s", idle.Flame(Costs{StepJ: 1e-9}))
+	}
+}

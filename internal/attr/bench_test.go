@@ -1,0 +1,20 @@
+package attr
+
+import (
+	"testing"
+)
+
+// BenchmarkDiffLockstep measures the hotpath lockstep comparison over two
+// identical 100k-event traces — the worst case, since the loop must walk
+// both streams to the end before concluding they match.
+func BenchmarkDiffLockstep(b *testing.B) {
+	a := mkEvents(100_000)
+	c := mkEvents(100_000)
+	b.SetBytes(int64(len(a)) * 56)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if firstDivergence(a, c) != -1 {
+			b.Fatal("streams diverged")
+		}
+	}
+}

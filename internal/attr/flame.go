@@ -1,0 +1,47 @@
+package attr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Flame export: the attribution rendered as folded stacks
+// ("rank0;bank3;refresh.issued 1234"), one line per cause path with an
+// integer picojoule weight — the input format of the standard
+// flamegraph.pl / speedscope / inferno toolchains, so "refresh cost by
+// cause" becomes an interactive flame graph for free.
+
+// Flame renders the attribution's energy under the cost model as folded
+// stacks with picojoule weights. Zero-weight paths are omitted; lines
+// are sorted, so the output is byte-deterministic.
+func (a *Attribution) Flame(c Costs) string {
+	var lines []string
+	add := func(weightJ float64, stack ...string) {
+		pj := int64(math.Round(weightJ * 1e12))
+		if pj <= 0 {
+			return
+		}
+		lines = append(lines, fmt.Sprintf("%s %d", strings.Join(stack, ";"), pj))
+	}
+	perStep := a.Totals.Issued + a.Totals.Skipped
+	for _, b := range a.Banks {
+		bank := fmt.Sprintf("bank%d", b.Bank)
+		add(float64(b.Issued)*c.StepJ, a.Label(b.Shard), bank, "refresh.issued")
+		add(float64(b.Writebacks)*c.LineJ, a.Label(b.Shard), bank, "writeback")
+	}
+	if perStep == 0 && a.RolloverRefreshed > 0 {
+		// Idle-replay trace: no per-bank steps, charge the rollover
+		// totals at the root.
+		add(float64(a.RolloverRefreshed)*c.StepJ, "idle-replay", "refresh.issued")
+	}
+	span := float64(a.EndNs-a.StartNs) * 1e-9
+	add(c.BackgroundW*span, "background")
+	add(c.BusW*span, "bus")
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

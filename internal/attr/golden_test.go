@@ -1,0 +1,186 @@
+package attr_test
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zerorefresh/internal/attr"
+	"zerorefresh/internal/dram"
+	"zerorefresh/internal/energy"
+	"zerorefresh/internal/refresh"
+	"zerorefresh/internal/sim"
+	"zerorefresh/internal/trace"
+	"zerorefresh/internal/workload"
+)
+
+// -update regenerates the golden analytics artifacts:
+//
+//	go test ./internal/attr -run TestSmokeAnalyticsGolden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// smokeRun executes the pinned smoke scenario with a ring large enough to
+// hold every event, and returns the scenario result plus the tracer.
+func smokeRun(t *testing.T, seed uint64) (sim.ScenarioResult, *trace.Tracer) {
+	t.Helper()
+	prof, ok := workload.ByName("sphinx3")
+	if !ok {
+		t.Fatal("sphinx3 profile missing")
+	}
+	o := sim.Options{
+		Capacity:   4 << 20,
+		Windows:    2,
+		Warmup:     1,
+		Seed:       seed,
+		Benchmarks: []workload.Profile{prof},
+		Trace:      trace.New(1 << 18),
+	}
+	res, err := sim.RunScenario(o, prof, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := o.Trace.Dropped(); d != 0 {
+		t.Fatalf("trace ring dropped %d events; enlarge the test ring", d)
+	}
+	return res, o.Trace
+}
+
+// streamOf exports the tracer as NDJSON and loads it back through the
+// offline reader — the exact path `zrsim -trace run.ndjson` + zrquery
+// exercise.
+func streamOf(t *testing.T, tr *trace.Tracer) *attr.Stream {
+	t.Helper()
+	var b strings.Builder
+	if err := trace.WriteNDJSON(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	s, err := attr.Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// goldenCosts mirrors zrquery's default energy flags (gbit 32, one
+// device, 32 rows per AR, 8%/2% duty).
+func goldenCosts() attr.Costs {
+	p := energy.TableII()
+	return attr.Costs{
+		StepJ:       p.RefreshEnergyPerARJ(energy.DensityTRFC(32), 1) / 32,
+		BackgroundW: p.BackgroundPowerW(1),
+		BusW:        p.ReadPowerW(0.08, 1) + p.WritePowerW(0.02, 1),
+	}
+}
+
+// TestSmokeAnalyticsGolden pins the four analytics renderings of the
+// smoke run byte-for-byte: the timeline report, the attribution report,
+// the flame stacks and the Chrome span export. Determinism across two
+// same-seed runs is asserted before comparing against the committed
+// goldens (regenerate deliberately with -update).
+func TestSmokeAnalyticsGolden(t *testing.T) {
+	_, tr1 := smokeRun(t, 1)
+	_, tr2 := smokeRun(t, 1)
+	s1, s2 := streamOf(t, tr1), streamOf(t, tr2)
+
+	render := func(s *attr.Stream) map[string]string {
+		tl := attr.Derive(s)
+		a := attr.Attribute(s)
+		var spans strings.Builder
+		tl.WriteChromeSpans(&spans)
+		return map[string]string{
+			"smoke_report.txt":   tl.Report(),
+			"smoke_attr.txt":     a.Report(goldenCosts()),
+			"smoke_flame.folded": a.Flame(goldenCosts()),
+			"smoke_spans.json":   spans.String(),
+		}
+	}
+	got, got2 := render(s1), render(s2)
+	for name, body := range got {
+		if body != got2[name] {
+			t.Fatalf("%s differs between two same-seed runs", name)
+		}
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if body != string(want) {
+			t.Errorf("%s drifted from golden (regenerate deliberately with -update); got %d bytes, want %d",
+				name, len(body), len(want))
+		}
+	}
+}
+
+// TestSmokeReconciles cross-checks the trace-derived attribution against
+// the same run's metrics snapshot: per-step counts must agree with the
+// refresh and controller counters exactly.
+func TestSmokeReconciles(t *testing.T) {
+	res, tr := smokeRun(t, 1)
+	a := attr.Attribute(streamOf(t, tr))
+	if bad := a.Reconcile(res.Metrics); len(bad) != 0 {
+		t.Fatalf("attribution does not reconcile with the metrics registry:\n  %s",
+			strings.Join(bad, "\n  "))
+	}
+}
+
+// TestShareMatchesRefreshPowerShare pins the attribution energy model
+// against the paper's Figure 4 closed form: a conventional engine
+// (Skip:false) refreshes every step, so the trace-derived refresh share
+// must equal energy.RefreshPowerShare for the same parameters. The
+// geometry makes the correspondence exact: 8 banks x 1024 ARs per window
+// is the model's 8192 tREFI intervals, and each AR covers RowsPerAR=2
+// steps, so StepJ = RefreshEnergyPerARJ / 2.
+func TestShareMatchesRefreshPowerShare(t *testing.T) {
+	cfg := dram.DefaultConfig(64 << 20)
+	mod := dram.New(cfg)
+	tr := trace.New(1 << 16)
+	eng := refresh.NewEngine(mod, refresh.Config{Skip: false, RowsPerAR: 2, Stagger: true})
+	eng.SetTracer(tr.NewShard("rank0"))
+
+	tret := cfg.Timing.TRET
+	const windows = 2
+	for w := 0; w < windows; w++ {
+		eng.RunCycle(dram.Time(w) * tret)
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("ring dropped %d events", d)
+	}
+
+	a := attr.Attribute(streamOf(t, tr))
+	wantSteps := int64(windows) * int64(cfg.Banks) * int64(cfg.RowsPerBank)
+	if a.Totals.Issued != wantSteps || a.Totals.Skipped != 0 {
+		t.Fatalf("conventional engine issued %d/%d steps, want %d/0",
+			a.Totals.Issued, a.Totals.Skipped, wantSteps)
+	}
+	if a.StartNs != 0 || a.EndNs != int64(windows)*int64(tret) {
+		t.Fatalf("span [%d, %d], want [0, %d]", a.StartNs, a.EndNs, int64(windows)*int64(tret))
+	}
+
+	p := energy.TableII()
+	const gbit, readDuty, writeDuty = 32, 0.08, 0.02
+	costs := attr.Costs{
+		StepJ:       p.RefreshEnergyPerARJ(energy.DensityTRFC(gbit), 1) / 2,
+		BackgroundW: p.BackgroundPowerW(1),
+		BusW:        p.ReadPowerW(readDuty, 1) + p.WritePowerW(writeDuty, 1),
+	}
+	got := a.Energy(costs)
+	want, refreshW, totalW := energy.RefreshPowerShare(p, gbit, tret, readDuty, writeDuty)
+	if rel := math.Abs(got.Share-want) / want; rel > 1e-9 {
+		t.Fatalf("trace share %v vs RefreshPowerShare %v (rel err %v; refreshW=%v totalW=%v)",
+			got.Share, want, rel, refreshW, totalW)
+	}
+	// The absolute refresh joules must match the model's power x time.
+	span := float64(a.EndNs) * 1e-9
+	if rel := math.Abs(got.RefreshJ-refreshW*span) / (refreshW * span); rel > 1e-9 {
+		t.Fatalf("trace refresh %v J vs model %v J (rel err %v)", got.RefreshJ, refreshW*span, rel)
+	}
+}

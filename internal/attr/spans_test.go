@@ -1,0 +1,183 @@
+package attr
+
+import (
+	"strings"
+	"testing"
+
+	"zerorefresh/internal/trace"
+)
+
+// synthStream builds a small two-shard stream by emitting through a real
+// tracer, so the merged order matches what any exporter would produce:
+// window 0 has per-step refresh events and a write burst, window 1 rolls
+// over with counted steps but no per-step events (the idle-replay shape),
+// and a trailing event lands after the last rollover.
+func synthStream(t *testing.T) *Stream {
+	t.Helper()
+	tr := trace.New(1 << 10)
+	cpu := tr.NewShard("cpu")
+	rank := tr.NewShard("rank0")
+
+	cpu.Emit(trace.Event{Kind: trace.KindCodecSelect, Time: 0, Chip: -1, Bank: -1, Row: 3, A: 1, B: 6})
+	cpu.Emit(trace.Event{Kind: trace.KindCodecSelect, Time: 0, Chip: -1, Bank: -1, Row: 4, A: 1, B: 2})
+	rank.Emit(trace.Event{Kind: trace.KindWriteback, Time: 5, Chip: -1, Bank: 2, Row: 7, A: 4})
+	rank.Emit(trace.Event{Kind: trace.KindChargeTransition, Time: 5, Chip: 0, Bank: 2, Row: 7, A: 1})
+	rank.Emit(trace.Event{Kind: trace.KindRefreshIssued, Time: 10, Chip: -1, Bank: 0, Row: 1, A: 8})
+	rank.Emit(trace.Event{Kind: trace.KindRefreshSkipped, Time: 12, Chip: -1, Bank: 0, Row: 2, A: 3})
+	rank.Emit(trace.Event{Kind: trace.KindRefreshIssued, Time: 14, Chip: -1, Bank: 1, Row: 3, A: 8})
+	// The next window's first event shares the boundary time but sorts
+	// before rank0's rollover (lower shard id) — the partition must still
+	// assign the rollover to window 0.
+	cpu.Emit(trace.Event{Kind: trace.KindCodecSelect, Time: 100, Chip: -1, Bank: -1, Row: 9, A: 2, B: 0})
+	rank.Emit(trace.Event{Kind: trace.KindWindowRollover, Time: 100, Chip: -1, Bank: -1, Row: -1, A: 2, B: 1})
+	// Window 1: counted steps, no per-step events -> idle-replay synth.
+	rank.Emit(trace.Event{Kind: trace.KindWindowRollover, Time: 200, Chip: -1, Bank: -1, Row: -1, A: 4, B: 2})
+	// Trailing partial window.
+	rank.Emit(trace.Event{Kind: trace.KindRetentionViolation, Time: 250, Chip: 1, Bank: 5, Row: 6, A: 1})
+
+	return &Stream{Events: tr.Events(), Labels: map[int32]string{0: "cpu", 1: "rank0"}}
+}
+
+func TestDeriveWindows(t *testing.T) {
+	tl := Derive(synthStream(t))
+	if len(tl.Windows) != 3 {
+		t.Fatalf("derived %d windows, want 3:\n%s", len(tl.Windows), tl.Report())
+	}
+	w0, w1, w2 := tl.Windows[0], tl.Windows[1], tl.Windows[2]
+
+	if w0.StartNs != 0 || w0.EndNs != 100 || w0.Partial {
+		t.Fatalf("window 0 bounds: %+v", w0)
+	}
+	if len(w0.Rollovers) != 1 || w0.Rollovers[0] != (Rollover{Shard: 1, Refreshed: 2, Skipped: 1}) {
+		t.Fatalf("window 0 rollovers: %+v", w0.Rollovers)
+	}
+	// cpu codec burst, rank write burst, rank refresh burst.
+	if len(w0.Bursts) != 3 {
+		t.Fatalf("window 0 bursts: %+v", w0.Bursts)
+	}
+	if b := w0.Bursts[0]; b.Family != FamilyCodec || b.Count != 2 || b.ZeroWords != 8 {
+		t.Fatalf("codec burst: %+v", b)
+	}
+	if b := w0.Bursts[1]; b.Family != FamilyWrite || b.Writebacks != 1 || b.Transitions != 1 {
+		t.Fatalf("write burst: %+v", b)
+	}
+	if b := w0.Bursts[2]; b.Family != FamilyRefresh || b.Issued != 2 || b.Skipped != 1 || b.StartNs != 10 || b.EndNs != 14 {
+		t.Fatalf("refresh burst: %+v", b)
+	}
+
+	// The boundary-time codec event opened window 1.
+	if w1.StartNs != 100 || w1.EndNs != 200 {
+		t.Fatalf("window 1 bounds: %+v", w1)
+	}
+	var codec, idle *Burst
+	for i := range w1.Bursts {
+		switch w1.Bursts[i].Family {
+		case FamilyCodec:
+			codec = &w1.Bursts[i]
+		case FamilyIdle:
+			idle = &w1.Bursts[i]
+		}
+	}
+	if codec == nil || codec.StartNs != 100 {
+		t.Fatalf("boundary codec event not in window 1: %+v", w1.Bursts)
+	}
+	if idle == nil || !idle.Synth || idle.Issued != 4 || idle.Skipped != 2 || idle.Count != 6 {
+		t.Fatalf("idle-replay burst not synthesized: %+v", w1.Bursts)
+	}
+
+	if !w2.Partial || len(w2.Bursts) != 1 || w2.Bursts[0].Family != FamilyAnomaly || w2.Bursts[0].Violations != 1 {
+		t.Fatalf("trailing window: %+v", w2)
+	}
+}
+
+func TestTimelineReportDeterministic(t *testing.T) {
+	a := Derive(synthStream(t)).Report()
+	b := Derive(synthStream(t)).Report()
+	if a != b {
+		t.Fatal("timeline report not deterministic")
+	}
+	for _, want := range []string{
+		"timeline: 3 windows",
+		"window 0 [0ns, 100ns)",
+		"rollover rank0  refreshed=2 skipped=1",
+		"idle-replay rank0",
+		"(partial)",
+	} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestWriteChromeSpans(t *testing.T) {
+	tl := Derive(synthStream(t))
+	var b strings.Builder
+	tl.WriteChromeSpans(&b)
+	out := b.String()
+	for _, want := range []string{
+		`{"traceEvents":[`,
+		`"name":"windows"`,
+		`{"name":"window 0","ph":"X","pid":0,"tid":2,"ts":0.000,"dur":0.100,`,
+		`"displayTimeUnit":"ms"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome spans missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReadChromeRoundTrip pins that the Chrome reader recovers the exact
+// events trace.WriteChrome exported.
+func TestReadChromeRoundTrip(t *testing.T) {
+	tr := trace.New(64)
+	cpu := tr.NewShard("cpu")
+	rank := tr.NewShard("rank0")
+	cpu.Emit(trace.Event{Kind: trace.KindCodecSelect, Time: 0, Chip: -1, Bank: -1, Row: 3, A: 1, B: 6})
+	rank.Emit(trace.Event{Kind: trace.KindRefreshIssued, Time: 123456789, Chip: -1, Bank: 2, Row: 7, A: 8})
+	rank.Emit(trace.Event{Kind: trace.KindWindowRollover, Time: 32000000, Chip: -1, Bank: -1, Row: -1, A: 10, B: 2})
+
+	var b strings.Builder
+	if err := trace.WriteChrome(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Format != "chrome" {
+		t.Fatalf("format = %q", s.Format)
+	}
+	want := tr.Events()
+	if len(s.Events) != len(want) {
+		t.Fatalf("read %d events, want %d", len(s.Events), len(want))
+	}
+	for i := range want {
+		if s.Events[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, s.Events[i], want[i])
+		}
+	}
+	if s.Labels[0] != "cpu" || s.Labels[1] != "rank0" {
+		t.Fatalf("labels = %v", s.Labels)
+	}
+}
+
+// TestReadNDJSONStream pins format detection on the NDJSON side.
+func TestReadNDJSONStream(t *testing.T) {
+	tr := trace.New(64)
+	sh := tr.NewShard("rank0")
+	sh.Emit(trace.Event{Kind: trace.KindRefreshSkipped, Time: 42, Chip: -1, Bank: 3, Row: 4, A: 5})
+	var b strings.Builder
+	if err := trace.WriteNDJSON(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Format != "ndjson" || len(s.Events) != 1 || s.Labels[0] != "rank0" {
+		t.Fatalf("stream = %+v", s)
+	}
+	if s.Label(0) != "rank0" || s.Label(9) != "shard9" {
+		t.Fatalf("labels: %q, %q", s.Label(0), s.Label(9))
+	}
+}

@@ -1,0 +1,192 @@
+// Package attr is the offline trace-analytics engine: it loads the
+// deterministic event streams the simulator exports (Chrome trace JSON
+// from `zrsim -trace` and flight-recorder dumps, NDJSON from `.ndjson`
+// exports or captured /trace/tail output) and answers the questions the
+// live counters cannot — where the time went (span derivation), where the
+// refresh energy went (attribution joined with the Table II power model),
+// and at which exact event two runs diverged (first-divergence diff).
+//
+// The package is a leaf over internal/trace and internal/metrics only, so
+// the differential twin tests of dram/memctrl/refresh can use its diff
+// helper without import cycles; energy parameters enter as a plain Costs
+// value built by the caller (cmd/zrquery derives it from
+// energy.PowerParams).
+//
+// Every renderer in this package is byte-deterministic: integer
+// formatting throughout, floats in Go's shortest round-trip form, fixed
+// iteration orders. The golden tests pin the exact bytes.
+package attr
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"zerorefresh/internal/trace"
+)
+
+// Stream is one loaded trace: the merged event sequence in (time, shard,
+// seq) order as the exporter wrote it, shard labels when the container
+// carried them, and the exporter-reported drop count (events the ring
+// overwrote before export — attribution over a stream with drops is
+// partial, and the reports say so).
+type Stream struct {
+	Events  []trace.Event
+	Labels  map[int32]string
+	Dropped uint64
+	// Format is the detected container: "chrome" or "ndjson".
+	Format string
+}
+
+// Label names a shard: the carried label when the stream has one,
+// otherwise "shard<N>".
+func (s *Stream) Label(shard int32) string {
+	if l, ok := s.Labels[shard]; ok && l != "" {
+		return l
+	}
+	return "shard" + strconv.Itoa(int(shard))
+}
+
+// Open loads a trace stream from a file.
+func Open(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+// Read loads a trace stream, detecting the container format: a Chrome
+// trace-event document (the object trace.WriteChrome and the flight
+// recorder write) or NDJSON (trace.WriteNDJSON / captured /trace/tail).
+func Read(r io.Reader) (*Stream, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	head := bytes.TrimLeft(data, " \t\r\n")
+	if bytes.HasPrefix(head, []byte(`{"traceEvents"`)) {
+		return readChrome(data)
+	}
+	return readNDJSON(data)
+}
+
+func readNDJSON(data []byte) (*Stream, error) {
+	events, labels, err := trace.ReadNDJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{Events: events, Labels: labels, Format: "ndjson"}, nil
+}
+
+// chromeDoc mirrors the exporter's envelope (trace/chrome.go).
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	OtherData   struct {
+		Dropped uint64 `json:"dropped"`
+	} `json:"otherData"`
+}
+
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Ph   string      `json:"ph"`
+	Tid  int32       `json:"tid"`
+	Ts   json.Number `json:"ts"`
+	Args struct {
+		Name string `json:"name"`
+		Chip int32  `json:"chip"`
+		Bank int32  `json:"bank"`
+		Row  int32  `json:"row"`
+		A    int64  `json:"a"`
+		B    int64  `json:"b"`
+		Seq  uint64 `json:"seq"`
+	} `json:"args"`
+}
+
+func readChrome(data []byte) (*Stream, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("chrome trace: %v", err)
+	}
+	s := &Stream{Labels: make(map[int32]string), Dropped: doc.OtherData.Dropped, Format: "chrome"}
+	for i, ce := range doc.TraceEvents {
+		switch {
+		case ce.Ph == "M" && ce.Name == "thread_name":
+			s.Labels[ce.Tid] = ce.Args.Name
+		case ce.Ph == "i":
+			k, ok := trace.KindByName(ce.Name)
+			if !ok {
+				return nil, fmt.Errorf("chrome trace: event %d: unknown kind %q", i, ce.Name)
+			}
+			t, err := chromeTsNs(ce.Ts.String())
+			if err != nil {
+				return nil, fmt.Errorf("chrome trace: event %d: %v", i, err)
+			}
+			s.Events = append(s.Events, trace.Event{
+				Kind: k, Shard: ce.Tid, Time: t,
+				Chip: ce.Args.Chip, Bank: ce.Args.Bank, Row: ce.Args.Row,
+				A: ce.Args.A, B: ce.Args.B, Seq: ce.Args.Seq,
+			})
+		}
+	}
+	return s, nil
+}
+
+// chromeTsNs reconstructs the nanosecond timestamp from the exporter's
+// fixed "<us>.<3-digit-frac>" microsecond form with integer arithmetic,
+// so the round trip through Chrome JSON is exact.
+func chromeTsNs(ts string) (int64, error) {
+	us, frac := ts, "0"
+	if i := strings.IndexByte(ts, '.'); i >= 0 {
+		us, frac = ts[:i], ts[i+1:]
+	}
+	u, err := strconv.ParseInt(us, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ts %q", ts)
+	}
+	f, err := strconv.ParseInt(frac, 10, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad ts %q", ts)
+	}
+	for d := len(frac); d < 3; d++ {
+		f *= 10
+	}
+	return u*1000 + f, nil
+}
+
+// jsonStr renders a JSON string with the same minimal escaping the
+// simulator's hand-rolled exporters use.
+func jsonStr(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\r':
+			b.WriteString(`\r`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

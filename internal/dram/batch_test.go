@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"zerorefresh/internal/attr"
 	"zerorefresh/internal/trace"
 )
 
@@ -40,15 +41,7 @@ func compareTwins(t *testing.T, a, b *Module, ta, tb *trace.Tracer) {
 	if sa, sb := a.Metrics().Snapshot(), b.Metrics().Snapshot(); !reflect.DeepEqual(sa, sb) {
 		t.Fatalf("metrics snapshots diverged:\nbatched %+v\nscalar  %+v", sa, sb)
 	}
-	ea, eb := ta.Events(), tb.Events()
-	if len(ea) != len(eb) {
-		t.Fatalf("event counts diverged: batched %d, scalar %d", len(ea), len(eb))
-	}
-	for i := range ea {
-		if ea[i] != eb[i] {
-			t.Fatalf("event %d diverged:\nbatched %+v\nscalar  %+v", i, ea[i], eb[i])
-		}
-	}
+	attr.MustMatch(t, "batched vs scalar", ta.Events(), tb.Events())
 	cfg := a.Config()
 	for chip := 0; chip < cfg.Chips; chip++ {
 		for bank := 0; bank < cfg.Banks; bank++ {

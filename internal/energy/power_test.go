@@ -118,3 +118,68 @@ func TestBackgroundAndRWPower(t *testing.T) {
 		t.Fatal("zero duty write power should be zero")
 	}
 }
+
+// TestTableIIHandComputed pins the Table II attribution constants against
+// hand-computed values, so a silent parameter edit cannot drift the
+// offline attribution (internal/attr builds its step costs from these).
+func TestTableIIHandComputed(t *testing.T) {
+	p := TableII()
+
+	// Single device, max-density tRFC: (120-8)mA * 1.2V * 880ns =
+	// 118.272 nJ per AR command.
+	got := p.RefreshEnergyPerARJ(DensityTRFC(32), 1)
+	want := 112e-3 * 1.2 * 880e-9
+	if math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("single-device max-density E_AR = %v, want %v", got, want)
+	}
+
+	// The density ladder clamps: everything past 16 Gbit uses the
+	// 880 ns tRFC, and 64 Gbit is the same bucket as 32.
+	if DensityTRFC(32) != 880 || DensityTRFC(64) != DensityTRFC(32) {
+		t.Fatalf("max-density tRFC = %v / %v, want 880 for both", DensityTRFC(32), DensityTRFC(64))
+	}
+	if DensityTRFC(1) != 110 || DensityTRFC(16) != 550 {
+		t.Fatalf("density ladder anchors drifted: 1Gb=%v 16Gb=%v", DensityTRFC(1), DensityTRFC(16))
+	}
+
+	// Background power, one device: 8mA * 1.2V = 9.6 mW.
+	if got, want := p.BackgroundPowerW(1), 8e-3*1.2; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("background power = %v, want %v", got, want)
+	}
+}
+
+// TestRefreshPowerShareEdgeCases pins the Figure 4 closed form at its
+// boundary inputs: zero bus duty (share = refresh/(refresh+background)),
+// and the exact share for a hand-computed operating point.
+func TestRefreshPowerShareEdgeCases(t *testing.T) {
+	p := TableII()
+
+	// Zero duty: the bus term vanishes entirely.
+	if p.ReadPowerW(0, 1) != 0 || p.WritePowerW(0, 1) != 0 {
+		t.Fatal("zero-duty bus power must be zero")
+	}
+	tret := dram.Time(64 * dram.Millisecond)
+	share, refreshW, totalW := RefreshPowerShare(p, 32, tret, 0, 0)
+	background := 8e-3 * 1.2
+	wantRefreshW := 112e-3 * 1.2 * 880 / (float64(tret) / 8192)
+	if math.Abs(refreshW-wantRefreshW)/wantRefreshW > 1e-12 {
+		t.Fatalf("refreshW = %v, want %v", refreshW, wantRefreshW)
+	}
+	if math.Abs(totalW-(wantRefreshW+background)) > 1e-12 {
+		t.Fatalf("zero-duty totalW = %v, want refresh+background = %v", totalW, wantRefreshW+background)
+	}
+	if wantShare := wantRefreshW / (wantRefreshW + background); math.Abs(share-wantShare)/wantShare > 1e-12 {
+		t.Fatalf("zero-duty share = %v, want %v", share, wantShare)
+	}
+
+	// The paper's duty point (8% read, 2% write) on one device: the bus
+	// adds (52*0.08 + 50*0.02) mA * 1.2V and the share drops accordingly.
+	shareDuty, _, totalDuty := RefreshPowerShare(p, 32, tret, 0.08, 0.02)
+	bus := (60.0-8.0)*1e-3*1.2*0.08 + (58.0-8.0)*1e-3*1.2*0.02
+	if math.Abs(totalDuty-(wantRefreshW+background+bus)) > 1e-12 {
+		t.Fatalf("duty totalW = %v, want %v", totalDuty, wantRefreshW+background+bus)
+	}
+	if shareDuty >= share {
+		t.Fatal("bus power must dilute the refresh share")
+	}
+}

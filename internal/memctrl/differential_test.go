@@ -1,10 +1,12 @@
 package memctrl
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
 
+	"zerorefresh/internal/attr"
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/refresh"
 	"zerorefresh/internal/trace"
@@ -89,15 +91,7 @@ func compareStacks(t *testing.T, opts transform.Options, batched, scalar *diffSt
 			t.Fatalf("opts=%+v: %s metrics diverged:\nbatched %+v\nscalar  %+v", opts, p.name, p.a, p.b)
 		}
 	}
-	ea, eb := batched.tr.Events(), scalar.tr.Events()
-	if len(ea) != len(eb) {
-		t.Fatalf("opts=%+v: event counts diverged: batched %d, scalar %d", opts, len(ea), len(eb))
-	}
-	for i := range ea {
-		if ea[i] != eb[i] {
-			t.Fatalf("opts=%+v: event %d diverged:\nbatched %+v\nscalar  %+v", opts, i, ea[i], eb[i])
-		}
-	}
+	attr.MustMatch(t, fmt.Sprintf("opts=%+v: batched vs scalar", opts), batched.tr.Events(), scalar.tr.Events())
 	cfg := batched.mod.Config()
 	for chip := 0; chip < cfg.Chips; chip++ {
 		for bank := 0; bank < cfg.Banks; bank++ {

@@ -236,10 +236,12 @@ func (p *Plane) handleAlerts(w http.ResponseWriter, r *http.Request) {
 }
 
 // eventNDJSON renders one trace event as a single NDJSON line (without
-// the trailing newline).
+// the trailing newline). The encoding lives in trace.EventNDJSON — the
+// one implementation shared with zrsim's .ndjson trace export — so a
+// captured tail is byte-compatible with an exported trace file and the
+// offline reader (internal/attr) parses both.
 func eventNDJSON(e trace.Event) string {
-	return fmt.Sprintf("{\"kind\":%s,\"shard\":%d,\"time_ns\":%d,\"chip\":%d,\"bank\":%d,\"row\":%d,\"a\":%d,\"b\":%d,\"seq\":%d}",
-		jsonString(e.Kind.String()), e.Shard, e.Time, e.Chip, e.Bank, e.Row, e.A, e.B, e.Seq)
+	return trace.EventNDJSON(e)
 }
 
 // handleTail streams live events as NDJSON until the client disconnects

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"zerorefresh/internal/attr"
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/trace"
 )
@@ -88,15 +89,7 @@ func TestRefreshGroupStepMatchesScalar(t *testing.T) {
 			if a, b := mods[0].Metrics().Snapshot(), mods[1].Metrics().Snapshot(); !reflect.DeepEqual(a, b) {
 				t.Fatalf("module metrics diverged:\nbatched %+v\nscalar  %+v", a, b)
 			}
-			ea, eb := trs[0].Events(), trs[1].Events()
-			if len(ea) != len(eb) {
-				t.Fatalf("event counts diverged: batched %d, scalar %d", len(ea), len(eb))
-			}
-			for i := range ea {
-				if ea[i] != eb[i] {
-					t.Fatalf("event %d diverged:\nbatched %+v\nscalar  %+v", i, ea[i], eb[i])
-				}
-			}
+			attr.MustMatch(t, "batched vs scalar", trs[0].Events(), trs[1].Events())
 			for chip := 0; chip < dcfg.Chips; chip++ {
 				for bank := 0; bank < dcfg.Banks; bank++ {
 					for row := 0; row < dcfg.RowsPerBank; row++ {

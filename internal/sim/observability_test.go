@@ -30,9 +30,11 @@ func smokeGoldenOptions() Options {
 	}
 }
 
-// runSmokeArtifacts produces the two exported artifacts of a smoke run: the
-// Chrome trace-event JSON and the per-window timeline CSV.
-func runSmokeArtifacts(t *testing.T) (traceJSON, timelineCSV string) {
+// runSmokeArtifacts produces the three exported artifacts of a smoke run:
+// the Chrome trace-event JSON, the NDJSON trace (the `zrsim -trace
+// run.ndjson` / zrquery interchange format), and the per-window timeline
+// CSV.
+func runSmokeArtifacts(t *testing.T) (traceJSON, traceNDJSON, timelineCSV string) {
 	t.Helper()
 	o := smokeGoldenOptions()
 	_, epochs, err := RunSmoke(o)
@@ -43,7 +45,11 @@ func runSmokeArtifacts(t *testing.T) (traceJSON, timelineCSV string) {
 	if err := trace.WriteChrome(&b, o.Trace); err != nil {
 		t.Fatal(err)
 	}
-	return b.String(), TimelineCSV(epochs)
+	var nb strings.Builder
+	if err := trace.WriteNDJSON(&nb, o.Trace); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), nb.String(), TimelineCSV(epochs)
 }
 
 // TestSmokeGoldenArtifacts pins the smoke run's trace JSON and timeline CSV
@@ -52,10 +58,13 @@ func runSmokeArtifacts(t *testing.T) (traceJSON, timelineCSV string) {
 // histogram bucketing, or exporter formatting shows up here as a readable
 // diff (regenerate deliberately with -update).
 func TestSmokeGoldenArtifacts(t *testing.T) {
-	traceJSON, timelineCSV := runSmokeArtifacts(t)
-	traceJSON2, timelineCSV2 := runSmokeArtifacts(t)
+	traceJSON, traceNDJSON, timelineCSV := runSmokeArtifacts(t)
+	traceJSON2, traceNDJSON2, timelineCSV2 := runSmokeArtifacts(t)
 	if traceJSON != traceJSON2 {
 		t.Fatal("trace JSON differs between two same-seed runs")
+	}
+	if traceNDJSON != traceNDJSON2 {
+		t.Fatal("trace NDJSON differs between two same-seed runs")
 	}
 	if timelineCSV != timelineCSV2 {
 		t.Fatal("timeline CSV differs between two same-seed runs")
@@ -63,6 +72,7 @@ func TestSmokeGoldenArtifacts(t *testing.T) {
 
 	goldens := map[string]string{
 		"smoke_trace.json":   traceJSON,
+		"smoke_trace.ndjson": traceNDJSON,
 		"smoke_timeline.csv": timelineCSV,
 	}
 	for name, got := range goldens {
