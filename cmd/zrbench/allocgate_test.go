@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllocGateClean(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "clean.json", rep(
+		result{Name: "BenchmarkRefreshGroup/discharged", Package: "internal/dram", NsPerOp: 40},
+		result{Name: "BenchmarkWindowsEvent/idle99", Package: "internal/core", NsPerOp: 780156, BytesPerOp: 627, AllocsPerOp: 9},
+	))
+	var out strings.Builder
+	if err := runAllocGate(path, &out); err != nil {
+		t.Fatalf("clean gate failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 steady-state benchmark(s) checked, 0 violation(s)") {
+		t.Fatalf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestRunAllocGateFlagsSteadyStateAllocs(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "dirty.json", rep(
+		result{Name: "BenchmarkFillRowWords/cow", Package: "internal/dram", NsPerOp: 90, BytesPerOp: 48, AllocsPerOp: 1},
+		result{Name: "BenchmarkWriteLine/raw/batched", Package: "internal/memctrl", NsPerOp: 148},
+	))
+	var out strings.Builder
+	err := runAllocGate(path, &out)
+	if err == nil {
+		t.Fatalf("allocating steady-state benchmark not fatal:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOCS: internal/dram.BenchmarkFillRowWords/cow 1 allocs/op") {
+		t.Fatalf("violation not reported:\n%s", out.String())
+	}
+}
+
+func TestRunAllocGateExemptOnlyIsError(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "exempt.json", rep(
+		result{Name: "BenchmarkWindowsDense/idle50", Package: "internal/core", NsPerOp: 1, AllocsPerOp: 200}))
+	var out strings.Builder
+	if err := runAllocGate(path, &out); err == nil {
+		t.Fatal("gate with nothing to audit should fail loudly")
+	}
+}
+
+func TestRunAllocGateRejectsBadFile(t *testing.T) {
+	var out strings.Builder
+	if err := runAllocGate("no-such-file.json", &out); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

@@ -1,9 +1,9 @@
 // Command zrbench runs the simulator's hot-path microbenchmarks and emits a
-// machine-readable performance baseline. The committed BENCH_7.json at the
+// machine-readable performance baseline. The committed BENCH_9.json at the
 // repository root is its output: regenerate with `make perfbench` after any
 // datapath or scheduler change. The suite covers the line-granular
-// scalar/batched pairs, the event-queue primitives, and the dense-vs-event
-// window drivers at several idle ratios.
+// scalar/batched pairs, the arena/CoW storage primitives, the event-queue
+// primitives, and the dense-vs-event window drivers at several idle ratios.
 //
 // The report schema is deterministic — a fixed benchmark set, names sorted,
 // GOMAXPROCS suffixes stripped — so two runs differ only in the measured
@@ -14,15 +14,22 @@
 // The -diff mode compares two baselines and fails on regressions, which is
 // how CI gates a PR against the previous baseline generation:
 //
-//	zrbench -diff BENCH_6.json,BENCH_7.json -tolerance 0.10
+//	zrbench -diff BENCH_8.json,BENCH_9.json -tolerance 0.10
 //
 // Only benchmarks present in both files are compared (a new generation may
 // add suites); a shared benchmark more than tolerance slower fails.
 //
+// The -allocgate mode audits a committed baseline's allocs/op column: every
+// benchmark in the steady-state set (everything except the whole-window
+// drivers, which legitimately build per-window experiment state) must report
+// exactly zero allocations per operation, or the gate fails. This is how CI
+// pins the hot paths allocation-free without re-measuring them.
+//
 // Usage:
 //
-//	zrbench [-out BENCH_7.json] [-benchtime 100ms] [-count 1]
+//	zrbench [-out BENCH_9.json] [-benchtime 100ms] [-count 1]
 //	zrbench -diff OLD.json,NEW.json [-tolerance 0.10]
+//	zrbench -allocgate BENCH_9.json
 package main
 
 import (
@@ -44,10 +51,12 @@ type suite struct {
 }
 
 // suites is the fixed benchmark set of the baseline: the batched-datapath
-// pairs in the controller and refresh engine, the transform kernels, the
+// pairs in the controller and refresh engine, the arena/CoW storage and
+// bitmap-scan primitives in the rank model, the transform kernels, the
 // event-queue primitive, the dense-vs-event window drivers, the
 // introspection plane's trace tee, and the trace-diff lockstep loop.
 var suites = []suite{
+	{"./internal/dram", "BenchmarkFillRowWords|BenchmarkRefreshGroup|BenchmarkReplayRefreshGroup|BenchmarkNextRetentionDeadline"},
 	{"./internal/memctrl", "BenchmarkWriteLine|BenchmarkReadLine|BenchmarkWriteZeroRow"},
 	{"./internal/refresh", "BenchmarkAutoRefreshSet"},
 	{"./internal/transform", "BenchmarkBitPlaneInverse|BenchmarkPipelineEncodeDecode"},
@@ -66,7 +75,7 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// report is the BENCH_7.json document.
+// report is the BENCH_9.json document.
 type report struct {
 	Schema     string   `json:"schema"`
 	BenchTime  string   `json:"benchtime"`
@@ -177,14 +186,22 @@ func run(out, benchtime string, count int) error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output file, or - for stdout")
+	out := flag.String("out", "BENCH_9.json", "output file, or - for stdout")
 	benchtime := flag.String("benchtime", "100ms", "per-benchmark measurement time (go test -benchtime)")
 	count := flag.Int("count", 1, "benchmark repetitions (go test -count)")
 	diffFiles := flag.String("diff", "", "compare two baselines (OLD.json,NEW.json) instead of benchmarking; exits 1 on regressions")
 	tolerance := flag.Float64("tolerance", 0.10, "with -diff, allowed fractional ns/op slowdown in shared benchmarks")
+	allocGate := flag.String("allocgate", "", "audit a baseline's steady-state benchmarks for allocs/op == 0; exits 1 on violations")
 	flag.Parse()
 	if *diffFiles != "" {
 		if err := runDiff(*diffFiles, *tolerance, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "zrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *allocGate != "" {
+		if err := runAllocGate(*allocGate, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "zrbench:", err)
 			os.Exit(1)
 		}

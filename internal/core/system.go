@@ -344,9 +344,16 @@ func (s *System) FillPageFromProfile(prof workload.Profile, page int, contentSee
 }
 
 // CleansePage zero-fills a page through the datapath, as the OS's
-// free-time cleansing would (Section III-B).
+// free-time cleansing would (Section III-B). Pages coincide with
+// rank-level rows, so the cleanse is the controller's bulk WriteZeroRow:
+// the zero line is encoded once per row and, when the encoded pattern is
+// uniform and charged, the row aliases a shared copy-on-write sentinel
+// instead of storing every word — the accounting is charged per line
+// exactly as the slot-by-slot loop would charge it (pinned by the
+// memctrl differential twins).
 func (s *System) CleansePage(page int) error {
-	return s.WritePage(page, func(int) [64]byte { return [64]byte{} })
+	u, local := s.rankOf(s.PageAddr(page))
+	return u.Controller.WriteZeroRow(local, s.Clock)
 }
 
 // RunWindow executes one full retention window of refresh activity on

@@ -1,0 +1,195 @@
+package dram
+
+import "testing"
+
+// chargedFill is a fill word that is charged for both cell types (neither
+// all-zeros nor all-ones), so the same benchmark body exercises true- and
+// anti-cell rows identically.
+const chargedFill = uint64(0x0123456789ABCDEF)
+
+// benchModule returns a module on the standard 8 MB test geometry with no
+// tracer, matching the steady-state controller configuration the batched
+// fast paths are tuned for.
+func benchModule() *Module {
+	return New(testConfig())
+}
+
+// BenchmarkFillRowWords measures one whole-row fill (8 chips × 64 words).
+//
+//	cow:        uniform charged fill in steady state — every chip-row
+//	            re-aliases the shared sentinel (the bulk page-cleansing
+//	            fast path).
+//	discharged: uniform discharged fill over already-free rows — the
+//	            fast path's cheapest case, storage stays released.
+//	dense:      the slot-major reference loop over materialized rows,
+//	            for the internal fast-vs-dense comparison.
+func BenchmarkFillRowWords(b *testing.B) {
+	var line [LineChips]uint64
+
+	b.Run("cow", func(b *testing.B) {
+		m := benchModule()
+		for i := range line {
+			line[i] = chargedFill
+		}
+		rows := m.cfg.RowsPerBank
+		// Warm up: materialize the rows and populate the sentinel cache so
+		// the timed loop is pure steady state.
+		for r := 0; r < rows; r++ {
+			m.FillRowWords(0, r, line, 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.FillRowWords(0, i%rows, line, 0)
+		}
+	})
+
+	b.Run("discharged", func(b *testing.B) {
+		m := benchModule()
+		rows := m.cfg.RowsPerBank
+		for r := 0; r < rows; r++ {
+			line = dischargedLine(m, r)
+			m.FillRowWords(0, r, line, 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := i % rows
+			m.FillRowWords(0, r, dischargedLine(m, r), 0)
+		}
+	})
+
+	b.Run("dense", func(b *testing.B) {
+		m := benchModule()
+		for i := range line {
+			line[i] = chargedFill
+		}
+		rows := m.cfg.RowsPerBank
+		for r := 0; r < rows; r++ {
+			m.fillRowWordsDense(0, r, line, 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.fillRowWordsDense(0, i%rows, line, 0)
+		}
+	})
+}
+
+// dischargedLine builds the uniform fill that leaves row r storage-free:
+// every chip stores the discharged pattern of the row's cell type.
+func dischargedLine(m *Module, r int) (l [LineChips]uint64) {
+	d := m.cfg.CellTypeOf(r).DischargedWord()
+	for i := range l {
+		l[i] = d
+	}
+	return l
+}
+
+// diagonalGroup returns the staggered refresh group anchored at row base,
+// matching the engine's rows[c] = (base+c) mod RowsPerBank layout.
+func diagonalGroup(m *Module, base int) (rows [LineChips]int) {
+	for c := range rows {
+		rows[c] = (base + c) % m.cfg.RowsPerBank
+	}
+	return rows
+}
+
+// BenchmarkRefreshGroup measures one diagonal group refresh (8 chip-rows).
+//
+//	discharged: a bank no operation ever touched — the liveAny bitmap
+//	            fast path resolves the group with a few word loads.
+//	charged:    every group row holds charged data, so the dense loop
+//	            recharges and observes each chip-row.
+func BenchmarkRefreshGroup(b *testing.B) {
+	b.Run("discharged", func(b *testing.B) {
+		m := benchModule()
+		groups := m.cfg.RowsPerBank
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RefreshGroup(0, diagonalGroup(m, i%groups), 0)
+		}
+	})
+
+	b.Run("charged", func(b *testing.B) {
+		m := benchModule()
+		var line [LineChips]uint64
+		for i := range line {
+			line[i] = chargedFill
+		}
+		rows := m.cfg.RowsPerBank
+		for r := 0; r < rows; r++ {
+			m.FillRowWords(0, r, line, 0)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.RefreshGroup(0, diagonalGroup(m, i%rows), 1)
+		}
+	})
+}
+
+// BenchmarkReplayRefreshGroup measures one bulk idle-window replay of 64
+// refresh windows for a diagonal group.
+//
+//	discharged: untouched bank — the whole 64-window run collapses to a
+//	            bitmap test and one counter add.
+//	charged:    materialized charged rows — the per-chip closed form with
+//	            batched histogram observations.
+func BenchmarkReplayRefreshGroup(b *testing.B) {
+	const windows = 64
+	const period = Time(1000)
+
+	b.Run("discharged", func(b *testing.B) {
+		m := benchModule()
+		groups := m.cfg.RowsPerBank
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ReplayRefreshGroup(0, diagonalGroup(m, i%groups), 0, period, windows)
+		}
+	})
+
+	b.Run("charged", func(b *testing.B) {
+		m := benchModule()
+		var line [LineChips]uint64
+		for i := range line {
+			line[i] = chargedFill
+		}
+		rows := m.cfg.RowsPerBank
+		for r := 0; r < rows; r++ {
+			m.FillRowWords(0, r, line, 0)
+		}
+		// Advance first monotonically so every replayed window sees a
+		// fresh in-deadline age, never a decay.
+		now := Time(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.ReplayRefreshGroup(0, diagonalGroup(m, i%rows), now, period, windows)
+			now += Time(windows) * period
+		}
+	})
+}
+
+// BenchmarkNextRetentionDeadline measures the event-probe scan on a rank
+// where one row per bank is charged — the sparse occupancy the charged
+// bitmaps are built for (64 discharged rows per zero-word test).
+func BenchmarkNextRetentionDeadline(b *testing.B) {
+	m := benchModule()
+	var line [LineChips]uint64
+	for i := range line {
+		line[i] = chargedFill
+	}
+	for bank := 0; bank < m.cfg.Banks; bank++ {
+		m.FillRowWords(bank, (bank*37)%m.cfg.RowsPerBank, line, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.NextRetentionDeadline(); !ok {
+			b.Fatal("expected a charged row")
+		}
+	}
+}

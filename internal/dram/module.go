@@ -35,8 +35,31 @@ type Stats struct {
 type Module struct {
 	cfg Config
 	// banks[chip*cfg.Banks+bank][row] holds per-row storage; nil until
-	// a row first needs materialized state.
+	// a row first needs materialized state. Row structs and word storage
+	// come from the matching entry of arenas (see arena.go).
 	banks [][]*row
+	// slabs[bank] is the word/struct storage pool shared by all chips of
+	// that rank-level bank; see bankSlab.
+	slabs []bankSlab
+	// arenas[chip*cfg.Banks+bank] owns the chip-bank's row structs, word
+	// slab and charge bitmap.
+	arenas []bankArena
+	// liveAny[bank] is the per-rank-level-bank "any chip has a struct
+	// here" bitset shared by that bank's arenas across all chips; see
+	// bankArena.liveAny.
+	liveAny [][]uint64
+	// liveCnt[bank] counts the set bits of liveAny[bank]; see
+	// bankArena.liveCnt.
+	liveCnt []int32
+	// sentinels caches the shared read-only rows backing copy-on-write
+	// whole-row fills, keyed by the uniform word value.
+	sentinels map[uint64][]uint64
+	// wordsPerRow caches cfg.WordsPerChipRow() so the per-call hot paths
+	// skip its division chain.
+	wordsPerRow int
+	// storage tracks the memory footprint of the arena/CoW representation
+	// and feeds the dram.storage.* metrics.
+	storage storageStats
 	// spared is a bitset over rank-level row indices remapped by row
 	// sparing for fault tolerance; refresh skipping must be disabled for
 	// them (Section IV-B). Word r/64, bit r%64 is set when row r is
@@ -78,8 +101,23 @@ func New(cfg Config) *Module {
 		decayEvents:  reg.Counter("dram.decay_events"),
 		refreshedAge: reg.Histogram("dram.refresh_interval_ns"),
 	}
+	m.storage = newStorageStats(reg)
+	m.sentinels = make(map[uint64][]uint64)
+	m.wordsPerRow = cfg.WordsPerChipRow()
+	m.liveAny = make([][]uint64, cfg.Banks)
+	m.liveCnt = make([]int32, cfg.Banks)
+	for b := range m.liveAny {
+		m.liveAny[b] = make([]uint64, (cfg.RowsPerBank+63)/64)
+	}
+	m.slabs = make([]bankSlab, cfg.Banks)
+	for b := range m.slabs {
+		m.slabs[b].init(&m.storage, cfg.WordsPerChipRow(), cfg.Chips*cfg.RowsPerBank)
+	}
+	m.arenas = make([]bankArena, cfg.Chips*cfg.Banks)
 	for i := range m.banks {
 		m.banks[i] = make([]*row, cfg.RowsPerBank)
+		m.arenas[i].init(&m.storage, cfg.WordsPerChipRow(), cfg.RowsPerBank,
+			&m.slabs[i%cfg.Banks], m.liveAny[i%cfg.Banks], &m.liveCnt[i%cfg.Banks])
 	}
 	return m
 }
@@ -109,13 +147,20 @@ func (m *Module) Stats() Stats {
 
 // MarkSpared records that the given rank-level row index is backed by a
 // spare row. Spared rows never report themselves as discharged so the
-// refresh engine cannot skip them.
+// refresh engine cannot skip them. A spare physically relocates the row, so
+// any chip-row at this index still aliasing a shared sentinel is remapped
+// into its own arena slot.
 func (m *Module) MarkSpared(rowIdx int) {
 	m.checkRow(rowIdx)
 	if m.spared == nil {
 		m.spared = make([]uint64, (m.cfg.RowsPerBank+63)/64)
 	}
 	m.spared[rowIdx/64] |= 1 << (rowIdx % 64)
+	for _, b := range m.banks {
+		if r := b[rowIdx]; r != nil && r.cow {
+			r.copyOnWrite()
+		}
+	}
 }
 
 // sparedRow is the unchecked bitset probe behind IsSpared, for callers that
@@ -165,7 +210,7 @@ func (m *Module) activate(chip, bank, rowIdx int, now Time) *row {
 	b := m.bankOf(chip, bank)
 	r := b[rowIdx]
 	if r == nil {
-		r = &row{lastRecharge: now}
+		r = m.arenas[chip*m.cfg.Banks+bank].newRow(rowIdx, now)
 		b[rowIdx] = r
 	}
 	m.expire(r, chip, bank, rowIdx, now)
@@ -211,12 +256,12 @@ func traceChargeTransition(now Time, chip, bank, rowIdx int, discharged bool) tr
 // given chip-row. The activation recharges the whole row.
 func (m *Module) WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now Time) {
 	m.checkAddr(chip, bank, rowIdx)
-	if wordIdx < 0 || wordIdx >= m.cfg.WordsPerChipRow() {
-		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.cfg.WordsPerChipRow()))
+	if wordIdx < 0 || wordIdx >= m.wordsPerRow {
+		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.wordsPerRow))
 	}
 	r := m.activate(chip, bank, rowIdx, now)
 	before := r.discharged()
-	after := r.writeWord(wordIdx, v, m.cfg.WordsPerChipRow(), m.cfg.CellTypeOf(rowIdx))
+	after := r.writeWord(wordIdx, v, m.cfg.CellTypeOf(rowIdx))
 	m.wordWrites.Inc()
 	if m.tr != nil && before != after {
 		m.tr.Emit(traceChargeTransition(now, chip, bank, rowIdx, after))
@@ -228,8 +273,8 @@ func (m *Module) WriteWord(chip, bank, rowIdx, wordIdx int, v uint64, now Time) 
 // (fully discharged) pattern — exactly what the hardware would read.
 func (m *Module) ReadWord(chip, bank, rowIdx, wordIdx int, now Time) uint64 {
 	m.checkAddr(chip, bank, rowIdx)
-	if wordIdx < 0 || wordIdx >= m.cfg.WordsPerChipRow() {
-		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.cfg.WordsPerChipRow()))
+	if wordIdx < 0 || wordIdx >= m.wordsPerRow {
+		panic(fmt.Sprintf("dram: word %d out of range [0,%d)", wordIdx, m.wordsPerRow))
 	}
 	r := m.activate(chip, bank, rowIdx, now)
 	m.wordReads.Inc()

@@ -1,6 +1,9 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Bulk idle-window replay.
 //
@@ -40,15 +43,25 @@ func (m *Module) ReplayRefreshGroup(bank int, rows [LineChips]int, first, period
 	if period <= 0 {
 		panic(fmt.Sprintf("dram: replay period %d must be positive", period))
 	}
+	if m.liveAnyGroupEmpty(bank, &rows) {
+		// No chip ever materialized a row struct at any group index: every
+		// replayed refresh senses never-touched rows, which record no
+		// histogram age and mutate nothing. Only the counter moves.
+		m.refreshes.Add(LineChips * windows)
+		return
+	}
 	tret := m.cfg.Timing.TRET
 	traced := m.tr != nil
+	rpb := uint(m.cfg.RowsPerBank)
 	last := first + Time(windows-1)*period
 	var decays, live int64
 	var ages [LineChips]int64
 	uniform := true
 	for chip := 0; chip < LineChips; chip++ {
 		rowIdx := rows[chip]
-		m.checkRow(rowIdx)
+		if uint(rowIdx) >= rpb {
+			m.checkRow(rowIdx) // out of range: the scalar panic
+		}
 		r := m.banks[chip*m.cfg.Banks+bank][rowIdx]
 		if r == nil {
 			// Never-touched row: every replayed refresh senses it fully
@@ -107,18 +120,24 @@ func (m *Module) ReplayRefreshGroup(bank int, rows [LineChips]int, first, period
 // row exists. Rows already past their deadline report their (elapsed)
 // deadline unchanged; a probe scheduled "now or earlier" should fire
 // immediately.
+//
+// The scan walks each chip-bank's charged bitmap rather than the row
+// pointers: 64 discharged rows fall to one zero-word test, so the probe
+// cost tracks the number of charged rows, not the geometry.
 func (m *Module) NextRetentionDeadline() (Time, bool) {
 	best := Time(0)
 	found := false
-	for _, b := range m.banks {
-		for _, r := range b {
-			if r == nil || r.chargedWords == 0 {
-				continue
-			}
-			deadline := r.lastRecharge + m.cfg.Timing.TRET
-			if !found || deadline < best {
-				best = deadline
-				found = true
+	for i, b := range m.banks {
+		charged := m.arenas[i].charged
+		for wi, w := range charged {
+			for w != 0 {
+				rowIdx := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				deadline := b[rowIdx].lastRecharge + m.cfg.Timing.TRET
+				if !found || deadline < best {
+					best = deadline
+					found = true
+				}
 			}
 		}
 	}

@@ -5,11 +5,17 @@ import "math/bits"
 // row is the per-chip storage for one rank-level row index. Rows are stored
 // sparsely: a nil words slice means the row is in the fully discharged state
 // (the power-on state of a capacitor array, and also the state the OS's
-// zero-filled pages transform into). This keeps multi-GB geometries cheap as
-// long as most of memory is idle.
+// zero-filled pages transform into). Backing storage for non-discharged rows
+// is not individually allocated: words is either a row-sized slot carved out
+// of the owning bank's arena slab (see arena.go) or an alias of a shared
+// read-only sentinel row (cow == true). This keeps multi-GB geometries cheap
+// as long as most of memory is idle, and keeps what *is* materialized
+// cache-linear.
 type row struct {
 	// words holds the logical 64-bit values of the row, or nil when the
-	// row is fully discharged.
+	// row is fully discharged. When cow is set it aliases a shared
+	// sentinel and must be copied into an owned arena slot before any
+	// mutation.
 	words []uint64
 	// chargedWords counts the words containing at least one charged
 	// cell. The row may skip refresh exactly when chargedWords == 0;
@@ -23,10 +29,22 @@ type row struct {
 	// everDecayed records that the row lost charged data at least once
 	// because its refresh deadline was missed.
 	everDecayed bool
+	// cow marks words as an alias of a shared sentinel row (copy-on-write
+	// whole-row fill); the row owns no arena slot while set.
+	cow bool
+	// arena is the chip-bank arena the row's struct and slot come from.
+	arena *bankArena
+	// idx is the row's index within its bank, for charge-bitmap updates.
+	idx int32
+	// slot is the arena slot backing words, or noSlot when words is nil
+	// or aliases a sentinel.
+	slot int32
 }
 
 // recountCharged recomputes the charged-word count of a row from scratch;
-// used by tests and by mutation paths that rewrite the whole row.
+// used by tests and by mutation paths that rewrite the whole row. It reads
+// the words slice in place — for arena-backed rows that is a view straight
+// into the bank slab, no copy is ever taken.
 func recountCharged(words []uint64, ct CellType) int {
 	n := 0
 	for _, w := range words {
@@ -38,7 +56,8 @@ func recountCharged(words []uint64, ct CellType) int {
 }
 
 // popcountCharged returns the total number of charged cells in the row;
-// used by diagnostics and tests.
+// used by diagnostics and tests. Like recountCharged it operates on the
+// arena (or sentinel) view in place without copying.
 func popcountCharged(words []uint64, ct CellType) int {
 	n := 0
 	for _, w := range words {
@@ -47,15 +66,64 @@ func popcountCharged(words []uint64, ct CellType) int {
 	return n
 }
 
-// materialize allocates backing storage initialized to the fully discharged
-// pattern for the row's cell type.
-func (r *row) materialize(wordsPerRow int, ct CellType) {
-	r.words = make([]uint64, wordsPerRow)
-	if d := ct.DischargedWord(); d != 0 {
-		for i := range r.words {
-			r.words[i] = d
-		}
+// materialize claims an arena slot initialized to the fully discharged
+// pattern for the row's cell type. Slots are recycled, so every word is
+// rewritten — stale content from a previous tenant must never show through.
+func (r *row) materialize(ct CellType) {
+	ws, slot := r.arena.alloc()
+	d := ct.DischargedWord()
+	for i := range ws {
+		ws[i] = d
 	}
+	r.words = ws
+	r.slot = slot
+	r.arena.st.noteMaterialized(1)
+}
+
+// copyOnWrite migrates a sentinel-aliased row into an owned arena slot
+// ahead of its first mutation (or a spared-row remap). The materialized-row
+// count is unchanged: the row already counted as materialized while shared.
+func (r *row) copyOnWrite() {
+	ws, slot := r.arena.alloc()
+	copy(ws, r.words)
+	r.words = ws
+	r.slot = slot
+	r.cow = false
+}
+
+// attachSentinel points the row at the shared sentinel s — a whole-row fill
+// with one uniform charged word — releasing any owned slot. The caller
+// guarantees every word of s is charged, so chargedWords is the full row.
+func (r *row) attachSentinel(s []uint64, wordsPerRow int) {
+	if r.slot != noSlot {
+		r.arena.releaseSlot(r.slot)
+		r.slot = noSlot
+	}
+	if r.words == nil {
+		r.arena.st.noteMaterialized(1)
+	}
+	if r.chargedWords == 0 {
+		r.arena.setCharged(r.idx)
+	}
+	r.words = s
+	r.cow = true
+	r.chargedWords = wordsPerRow
+}
+
+// releaseWords drops the row back to the storage-free fully discharged
+// representation: the arena slot (if owned) returns to the free list, the
+// bank's charge bit clears. The caller has already zeroed chargedWords.
+func (r *row) releaseWords() {
+	if r.slot != noSlot {
+		r.arena.releaseSlot(r.slot)
+		r.slot = noSlot
+	}
+	if r.words != nil {
+		r.arena.st.noteMaterialized(-1)
+		r.words = nil
+	}
+	r.cow = false
+	r.arena.clearCharged(r.idx)
 }
 
 // readWord returns the logical value of word slot i, treating a nil row as
@@ -70,11 +138,11 @@ func (r *row) readWord(i int, ct CellType) uint64 {
 // writeWord stores v into word slot i, maintaining the charged-word count.
 // It returns true if the row is fully discharged afterwards. The body is
 // split so this hot-path entry stays within the inlining budget; the
-// materialize-or-skip and count-adjustment cases live in the two slow-path
-// helpers below.
-func (r *row) writeWord(i int, v uint64, wordsPerRow int, ct CellType) bool {
-	if r.words == nil {
-		return r.writeWordDischarged(i, v, wordsPerRow, ct)
+// discharged-row and copy-on-write cases live in the slow-path helper, and
+// the count-adjustment crossing in adjustCharged.
+func (r *row) writeWord(i int, v uint64, ct CellType) bool {
+	if r.words == nil || r.cow {
+		return r.writeWordSlow(i, v, ct)
 	}
 	oldCharged := ct.ChargedBits(r.words[i]) != 0
 	newCharged := ct.ChargedBits(v) != 0
@@ -85,32 +153,43 @@ func (r *row) writeWord(i int, v uint64, wordsPerRow int, ct CellType) bool {
 	return r.chargedWords == 0
 }
 
-// writeWordDischarged handles a write into a row with no backing storage:
-// the discharged pattern is a no-op, anything else materializes the row
-// first and then takes the normal path.
-func (r *row) writeWordDischarged(i int, v uint64, wordsPerRow int, ct CellType) bool {
-	if ct.ChargedBits(v) == 0 {
-		// Writing the discharged pattern into a discharged row leaves it
-		// discharged; no storage needed.
-		return true
+// writeWordSlow handles the two stores writeWord's fast path cannot: a row
+// with no backing storage (the discharged pattern is a no-op, anything else
+// claims an arena slot first) and a sentinel-aliased row (copied into an
+// owned slot before the mutation lands).
+func (r *row) writeWordSlow(i int, v uint64, ct CellType) bool {
+	if r.words == nil {
+		if ct.ChargedBits(v) == 0 {
+			// Writing the discharged pattern into a discharged row leaves it
+			// discharged; no storage needed.
+			return true
+		}
+		r.materialize(ct)
+	} else {
+		r.copyOnWrite()
 	}
-	r.materialize(wordsPerRow, ct)
-	return r.writeWord(i, v, wordsPerRow, ct)
+	return r.writeWord(i, v, ct)
 }
 
 // adjustCharged moves the charged-word count after a word crossed between
-// charged and discharged, releasing the backing array when the row reaches
-// the fully discharged state again.
+// charged and discharged, releasing the backing slot when the row reaches
+// the fully discharged state again and maintaining the bank's charge bit at
+// both edges.
 func (r *row) adjustCharged(nowCharged bool) bool {
 	if nowCharged {
+		if r.chargedWords == 0 {
+			// 0 -> 1 only happens on the first charged word right after
+			// materialize; steady-state stores never take this branch.
+			r.arena.setCharged(r.idx)
+		}
 		r.chargedWords++
 		return false
 	}
 	r.chargedWords--
 	if r.chargedWords == 0 {
 		// chargedWords == 0 implies every word equals the discharged
-		// pattern, so the backing array can be released again.
-		r.words = nil
+		// pattern, so the backing slot can be released again.
+		r.releaseWords()
 		return true
 	}
 	return false
@@ -120,9 +199,9 @@ func (r *row) adjustCharged(nowCharged bool) bool {
 // state, which for a whole row collapses to the discharged pattern. The data
 // previously stored in charged cells is destroyed.
 func (r *row) decay() {
-	r.words = nil
 	r.chargedWords = 0
 	r.everDecayed = true
+	r.releaseWords()
 }
 
 // discharged reports whether the row contains no charged cells (and hence

@@ -62,6 +62,11 @@ type MemoryBackend interface {
 	// was fully discharged and not remapped by row sparing. Equivalent to
 	// the scalar Refresh + IsSpared loop.
 	RefreshGroup(bank int, rows [dram.LineChips]int, now dram.Time) uint16
+	// RefreshSpanDischarged attempts the span-level refresh fast path:
+	// if no chip ever materialized a row in [lo, hi) of the bank, it
+	// accounts `groups` diagonal-group refreshes and reports true;
+	// otherwise it does nothing and the caller runs its per-step loop.
+	RefreshSpanDischarged(bank, lo, hi, groups int) bool
 	// FillRowWords stores words into every word slot of (bank, row)
 	// across all chips — the bulk page-cleansing fill. Equivalent to
 	// WriteLineWords for every slot of the row.

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"zerorefresh/internal/attr"
 	"zerorefresh/internal/dram"
+	"zerorefresh/internal/metrics"
 	"zerorefresh/internal/refresh"
 	"zerorefresh/internal/trace"
 	"zerorefresh/internal/transform"
@@ -81,7 +83,10 @@ func compareStacks(t *testing.T, opts transform.Options, batched, scalar *diffSt
 		name string
 		a, b interface{}
 	}{
-		{"module", batched.mod.Metrics().Snapshot(), scalar.mod.Metrics().Snapshot()},
+		// The dram.storage.* samples describe the storage layout (arena
+		// slots vs CoW sentinel aliases), which the two drives legitimately
+		// reach by different routes; everything else must match bit for bit.
+		{"module", withoutStorageMetrics(batched.mod.Metrics().Snapshot()), withoutStorageMetrics(scalar.mod.Metrics().Snapshot())},
 		{"engine", batched.eng.Metrics().Snapshot(), scalar.eng.Metrics().Snapshot()},
 		{"pipeline", batched.pipe.Metrics().Snapshot(), scalar.pipe.Metrics().Snapshot()},
 		{"controller", batched.ctrl.Metrics().Snapshot(), scalar.ctrl.Metrics().Snapshot()},
@@ -104,6 +109,19 @@ func compareStacks(t *testing.T, opts transform.Options, batched, scalar *diffSt
 			}
 		}
 	}
+}
+
+// withoutStorageMetrics strips the dram.storage.* memory-footprint samples
+// from a module snapshot before twin comparison.
+func withoutStorageMetrics(s metrics.Snapshot) metrics.Snapshot {
+	out := s
+	out.Samples = nil
+	for _, smp := range s.Samples {
+		if !strings.HasPrefix(smp.Name, "dram.storage.") {
+			out.Samples = append(out.Samples, smp)
+		}
+	}
+	return out
 }
 
 func TestBatchedDatapathMatchesScalar(t *testing.T) {

@@ -5,11 +5,39 @@ import (
 	"testing"
 )
 
+// BenchmarkAutoRefreshSetDischarged measures one full auto-refresh command
+// (32 steps) with the access bit forced set, over a module no operation ever
+// touched: the whole command resolves through the DRAM module's liveAny
+// bitmap span probe without materializing or visiting a single row. This is
+// the steady state of a mostly discharged bank, the case the charged-bitmap
+// storage layer is built for.
+func BenchmarkAutoRefreshSetDischarged(b *testing.B) {
+	for _, mode := range []string{"scalar", "batched"} {
+		m := testModule()
+		cfg := m.Config()
+		for r := 0; r < cfg.RowsPerBank; r += 29 {
+			m.MarkSpared(r)
+		}
+		e := testEngine(m)
+		e.scalarStep = mode == "scalar"
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bank := i % e.banks
+				set := (i / e.banks) % e.numARs
+				e.setAccessBit(bank, set)
+				e.AutoRefreshSet(bank, set, 0)
+			}
+		})
+	}
+}
+
 // BenchmarkAutoRefreshSet measures one full auto-refresh command (32 steps,
-// 256 chip-row refreshes) with the access bit forced set, so every step
-// takes the refresh path. The scalar sub drives the retained per-chip
-// Refresh + IsSpared loop; the batched sub drives the RefreshGroup backend
-// call the engine now uses on a standard rank.
+// 256 chip-row refreshes) over a module pre-seeded with 2000 random charged
+// words, with the access bit forced set, so every step takes the refresh
+// path. The scalar sub drives the retained per-chip Refresh + IsSpared loop;
+// the batched sub drives the RefreshGroup backend call the engine now uses
+// on a standard rank.
 func BenchmarkAutoRefreshSet(b *testing.B) {
 	for _, mode := range []string{"scalar", "batched"} {
 		m := testModule()
@@ -29,7 +57,7 @@ func BenchmarkAutoRefreshSet(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				bank := i % e.banks
 				set := (i / e.banks) % e.numARs
-				e.accessBits[bank][set] = true
+				e.setAccessBit(bank, set)
 				e.AutoRefreshSet(bank, set, 0)
 			}
 		})

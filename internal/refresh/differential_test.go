@@ -103,6 +103,80 @@ func TestRefreshGroupStepMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestRefreshSpanFastMatchesScalar drives the untraced batched engine —
+// the only configuration in which the whole-command discharged-span fast
+// path may engage — against the untraced scalar twin, over traffic sparse
+// enough that most auto-refresh commands cover fully discharged spans.
+// Counters, statuses and module state must be indistinguishable from the
+// per-step sweep.
+func TestRefreshSpanFastMatchesScalar(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"staggered":   {Skip: true, RowsPerAR: 32, Stagger: true, StatusInDRAM: true},
+		"unstaggered": {Skip: true, RowsPerAR: 32, StatusInDRAM: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			mods := [2]*dram.Module{testModule(), testModule()}
+			for i := range mods {
+				for r := 0; r < mods[i].Config().RowsPerBank; r += 37 {
+					mods[i].MarkSpared(r)
+				}
+			}
+			batched, scalar := NewEngine(mods[0], cfg), NewEngine(mods[1], cfg)
+			scalar.scalarStep = true
+			dcfg := mods[0].Config()
+			tret := dcfg.Timing.TRET
+			rng := rand.New(rand.NewSource(71))
+			now := dram.Time(0)
+			for cycle := 0; cycle < 5; cycle++ {
+				// Sparse writes: most AR commands keep a fully discharged
+				// span, a few get live rows and fall back per-step.
+				for i := 0; i < 6; i++ {
+					bank := rng.Intn(dcfg.Banks)
+					row := rng.Intn(dcfg.RowsPerBank)
+					word := rng.Intn(dcfg.WordsPerChipRow())
+					chip := rng.Intn(dcfg.Chips)
+					v := rng.Uint64()
+					mods[0].WriteWord(chip, bank, row, word, v, now)
+					mods[1].WriteWord(chip, bank, row, word, v, now)
+					batched.NoteWrite(bank, row)
+					scalar.NoteWrite(bank, row)
+				}
+				a, b := batched.RunCycle(now), scalar.RunCycle(now)
+				if a != b {
+					t.Fatalf("cycle %d stats diverged:\nbatched %+v\nscalar  %+v", cycle, a, b)
+				}
+				now = a.End + tret/dram.Time(8)
+			}
+			if a, b := batched.Stats(), scalar.Stats(); a != b {
+				t.Fatalf("engine stats diverged:\nbatched %+v\nscalar  %+v", a, b)
+			}
+			if a, b := batched.Metrics().Snapshot(), scalar.Metrics().Snapshot(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("engine metrics diverged:\nbatched %+v\nscalar  %+v", a, b)
+			}
+			if a, b := mods[0].Metrics().Snapshot(), mods[1].Metrics().Snapshot(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("module metrics diverged:\nbatched %+v\nscalar  %+v", a, b)
+			}
+			for bank := range batched.status {
+				if !reflect.DeepEqual(batched.status[bank], scalar.status[bank]) {
+					t.Fatalf("status table diverged in bank %d", bank)
+				}
+				if !reflect.DeepEqual(batched.skipRun[bank], scalar.skipRun[bank]) {
+					t.Fatalf("skip runs diverged in bank %d", bank)
+				}
+			}
+			for chip := 0; chip < dcfg.Chips; chip++ {
+				for bank := 0; bank < dcfg.Banks; bank++ {
+					for row := 0; row < dcfg.RowsPerBank; row++ {
+						if a, b := mods[0].ChargedCellCount(chip, bank, row), mods[1].ChargedCellCount(chip, bank, row); a != b {
+							t.Fatalf("charged cells diverged at (%d,%d,%d): %d vs %d", chip, bank, row, a, b)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestScalarFallbackOnNarrowRank pins that a rank with a non-standard chip
 // count transparently uses the scalar loop (the batched group call requires
 // dram.LineChips chips).

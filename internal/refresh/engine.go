@@ -8,6 +8,7 @@ package refresh
 
 import (
 	"fmt"
+	"math/bits"
 
 	"zerorefresh/internal/dram"
 	"zerorefresh/internal/engine"
@@ -93,9 +94,11 @@ type Engine struct {
 
 	// accessBits is the SRAM access-bit table: one bit per (bank, AR
 	// set), set by any write to a row of the set since its last refresh
-	// (Section IV-B). It starts all-set so the first cycle performs a
-	// full learning refresh.
-	accessBits [][]bool
+	// (Section IV-B). Packed 64 sets per word so the idle probe tests a
+	// whole bank in a handful of loads; bit set>>6 & 63 of word set/64.
+	// It starts all-set so the first cycle performs a full learning
+	// refresh.
+	accessBits [][]uint64
 	// status is the discharged-status table: per (bank, step), a mask
 	// with bit c set when chip c's row of the step's diagonal group was
 	// discharged (and not spared) at its last full refresh. The paper's
@@ -193,15 +196,15 @@ func NewEngine(m engine.MemoryBackend, cfg Config) *Engine {
 		panic("refresh: at most 16 chips supported by the status mask")
 	}
 	e.fullMask = uint16(1)<<dcfg.Chips - 1
-	e.accessBits = make([][]bool, e.banks)
+	e.accessBits = make([][]uint64, e.banks)
 	e.status = make([][]uint16, e.banks)
 	e.lastSetRefreshed = make([][]int, e.banks)
 	e.skipRun = make([][]int32, e.banks)
 	for b := 0; b < e.banks; b++ {
 		e.skipRun[b] = make([]int32, e.rowsPerBank)
-		e.accessBits[b] = make([]bool, e.numARs)
-		for i := range e.accessBits[b] {
-			e.accessBits[b][i] = true // force a learning refresh first
+		e.accessBits[b] = make([]uint64, (e.numARs+63)/64)
+		for i := 0; i < e.numARs; i++ {
+			e.setAccessBit(b, i) // force a learning refresh first
 		}
 		e.status[b] = make([]uint16, e.rowsPerBank)
 		e.lastSetRefreshed[b] = make([]int, e.numARs)
@@ -275,14 +278,29 @@ func (e *Engine) stepsOfRow(row int) (lo, hi int) {
 	return block * e.chips, block*e.chips + e.chips - 1
 }
 
+// accessBit, setAccessBit and clearAccessBit are the packed probes of the
+// access-bit table: AR set `set` of a bank lives at bit set&63 of word
+// set>>6.
+func (e *Engine) accessBit(bank, set int) bool {
+	return e.accessBits[bank][set>>6]&(1<<(uint(set)&63)) != 0
+}
+
+func (e *Engine) setAccessBit(bank, set int) {
+	e.accessBits[bank][set>>6] |= 1 << (uint(set) & 63)
+}
+
+func (e *Engine) clearAccessBit(bank, set int) {
+	e.accessBits[bank][set>>6] &^= 1 << (uint(set) & 63)
+}
+
 // NoteWrite records that a write touched the rank-level row of a bank.
 // The corresponding access bit(s) are set so the next AR covering the row
 // performs a full refresh and renews the discharged-status table; the
 // DRAM-resident table itself is *not* written on the store path.
 func (e *Engine) NoteWrite(bank, row int) {
 	lo, hi := e.stepsOfRow(row)
-	e.accessBits[bank][lo/e.cfg.RowsPerAR] = true
-	e.accessBits[bank][hi/e.cfg.RowsPerAR] = true
+	e.setAccessBit(bank, lo/e.cfg.RowsPerAR)
+	e.setAccessBit(bank, hi/e.cfg.RowsPerAR)
 }
 
 // refreshStep refreshes the diagonal group of step n in a bank and returns
@@ -352,6 +370,72 @@ func (e *Engine) noteRefresh(bank, n, chipRows int, now dram.Time) {
 	}
 }
 
+// refreshSpanFast resolves one whole learning-pass auto-refresh command at
+// once when the DRAM module proves the command's entire row span
+// discharged and unmaterialized: every refresh step would hit a
+// never-touched diagonal group, so the per-step sweep reduces to the
+// module's span-level counter accounting plus spare-aware status masks the
+// engine can derive from the sparing bitset alone. Returns false — leaving
+// the caller's per-step loop to run — in scalar mode, on non-standard rank
+// shapes, when tracing is on (the loop owns per-step event emission), or
+// when any row of the span is live.
+func (e *Engine) refreshSpanFast(bank, first int, res *ARResult) bool {
+	if e.scalarStep || e.chips != dram.LineChips || e.tr != nil {
+		return false
+	}
+	steps := e.cfg.RowsPerAR
+	lo, hi := first, first+steps
+	if e.cfg.Stagger {
+		// Staggered steps permute rows within blocks of e.chips, so the
+		// probe span is the block-aligned hull of the step range.
+		lo = lo / e.chips * e.chips
+		hi = (hi + e.chips - 1) / e.chips * e.chips
+	}
+	if !e.mod.RefreshSpanDischarged(bank, lo, hi, steps) {
+		return false
+	}
+	status := e.status[bank]
+	runs := e.skipRun[bank]
+	if e.cfg.Stagger {
+		curBlock := -1
+		var q uint8
+		for n := first; n < first+steps; n++ {
+			if b := n / e.chips * e.chips; b != curBlock {
+				curBlock = b
+				q = 0
+				for j := 0; j < e.chips; j++ {
+					if !e.mod.IsSpared(b + j) {
+						q |= 1 << j
+					}
+				}
+			}
+			// Step n's chip c refreshes row block+(c+n)%chips, so its
+			// status mask is the block's non-spared pattern rotated by
+			// the stagger offset.
+			status[n] = uint16(bits.RotateLeft8(q, -(n % e.chips)))
+			if runs[n] > 0 {
+				e.dischargedRunLen.Observe(int64(runs[n]))
+				runs[n] = 0
+			}
+		}
+	} else {
+		for n := first; n < first+steps; n++ {
+			if e.mod.IsSpared(n) {
+				status[n] = 0
+			} else {
+				status[n] = e.fullMask
+			}
+			if runs[n] > 0 {
+				e.dischargedRunLen.Observe(int64(runs[n]))
+				runs[n] = 0
+			}
+		}
+	}
+	res.Refreshed = steps
+	res.ChipRefreshed = steps * e.chips
+	return true
+}
+
 // AutoRefreshSet executes one auto-refresh command for the given AR set of
 // one bank (Section IV-B):
 //
@@ -369,14 +453,19 @@ func (e *Engine) AutoRefreshSet(bank, set int, now dram.Time) ARResult {
 	}
 	var res ARResult
 	first := set * e.cfg.RowsPerAR
-	if e.accessBits[bank][set] {
-		for n := first; n < first+e.cfg.RowsPerAR; n++ {
-			e.status[bank][n] = e.refreshStep(bank, n, now)
-			e.noteRefresh(bank, n, e.chips, now)
-			res.Refreshed++
-			res.ChipRefreshed += e.chips
+	if e.accessBit(bank, set) {
+		if e.refreshSpanFast(bank, first, &res) {
+			// Whole-command fast path: statuses, skip runs and counters
+			// are already accounted; fall through to the shared tail.
+		} else {
+			for n := first; n < first+e.cfg.RowsPerAR; n++ {
+				e.status[bank][n] = e.refreshStep(bank, n, now)
+				e.noteRefresh(bank, n, e.chips, now)
+				res.Refreshed++
+				res.ChipRefreshed += e.chips
+			}
 		}
-		e.accessBits[bank][set] = false
+		e.clearAccessBit(bank, set)
 		if e.cfg.StatusInDRAM {
 			res.StatusWrite = true
 			e.statusWrites.Inc()

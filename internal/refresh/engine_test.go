@@ -204,15 +204,15 @@ func TestNoteWriteSetsCoveringAccessBits(t *testing.T) {
 	m := testModule()
 	e := testEngine(m)
 	e.RunCycle(0) // clear all access bits
-	for _, bits := range e.accessBits {
-		for i, b := range bits {
-			if b {
-				t.Fatalf("access bit %d still set after cycle", i)
+	for bank := 0; bank < e.banks; bank++ {
+		for set := 0; set < e.numARs; set++ {
+			if e.accessBit(bank, set) {
+				t.Fatalf("access bit (%d,%d) still set after cycle", bank, set)
 			}
 		}
 	}
 	e.NoteWrite(3, 40) // block 5 = steps 40..47, all in set 1 (32 steps/set)
-	if !e.accessBits[3][1] {
+	if !e.accessBit(3, 1) {
 		t.Fatal("access bit for set 1 not set")
 	}
 	// A block straddling two sets must set both: row 60 -> steps 56..63

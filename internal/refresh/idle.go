@@ -20,11 +20,13 @@ import (
 
 // Idle reports whether every access bit is clear: no write has touched the
 // rank since the last AR covering the written set. Only then is the next
-// window a pure replay of the previous one.
+// window a pure replay of the previous one. The table is bit-packed, so
+// the probe resolves 64 AR sets per word — one load per bank at the
+// paper's geometry — instead of walking a bool per set.
 func (e *Engine) Idle() bool {
-	for _, bits := range e.accessBits {
-		for _, b := range bits {
-			if b {
+	for _, words := range e.accessBits {
+		for _, w := range words {
+			if w != 0 {
 				return false
 			}
 		}
